@@ -1,0 +1,100 @@
+// Ablation A9 (extension, paper reference [12]): adaptive entropy coding of
+// quantized measurements. Compares three members of the measurement-
+// compression family at equal quantization fidelity:
+//   CPF    — raw 4-byte bearings,
+//   DPF    — fixed-width quantized bearings (1 byte at 256 levels),
+//   DPF-A  — Huffman-coded quantized INNOVATIONS (Ing & Coates): the sink
+//            feeds its prediction back, sensors transmit codewords whose
+//            mean length tracks the innovation entropy.
+//
+//   ./ablation_adaptive_encoding [--density=20] [--trials=5]
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/cpf.hpp"
+#include "support/statistics.hpp"
+
+namespace {
+
+using namespace cdpf;
+
+struct Row {
+  double rmse = 0.0;
+  double bytes = 0.0;
+  double messages = 0.0;
+  double bits_per_measurement = 0.0;
+};
+
+Row run(const core::CpfConfig& config, const sim::Scenario& scenario,
+        std::size_t trials, std::uint64_t seed) {
+  support::RunningStats rmse, bytes, messages, bits;
+  for (std::size_t t = 0; t < trials; ++t) {
+    rng::Rng rng(rng::derive_stream_seed(seed, t));
+    wsn::Network network = sim::build_network(scenario, rng);
+    wsn::Radio radio(network, scenario.payloads);
+    const tracking::Trajectory trajectory =
+        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+    core::CentralizedPf tracker(network, radio, config);
+    const sim::RunOutcome outcome = sim::run_tracking(tracker, trajectory, rng);
+    rmse.add(outcome.rmse());
+    bytes.add(static_cast<double>(outcome.comm.total_bytes()));
+    messages.add(static_cast<double>(outcome.comm.total_messages()));
+    bits.add(tracker.mean_bits_per_measurement());
+  }
+  return {rmse.mean(), bytes.mean(), messages.mean(), bits.mean()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    const bench::BenchOptions options = bench::parse_common(args, 5);
+    const double density = args.get_double("density").value_or(20.0);
+    args.check_unknown();
+
+    sim::Scenario scenario;
+    scenario.density_per_100m2 = density;
+
+    std::cout << "Ablation A9 — adaptive measurement encoding (density " << density
+              << ", " << options.trials << " trials, 4096 quantization levels)\n";
+    support::Table table(
+        {"variant", "RMSE (m)", "bytes", "messages", "bits/measurement"});
+
+    core::CpfConfig cpf;  // raw
+    core::CpfConfig dpf;
+    dpf.quantization_levels = 4096;  // 12-bit fidelity => 2-byte fixed words
+    core::CpfConfig dpfa = dpf;
+    dpfa.adaptive_encoding = true;
+
+    const struct {
+      const char* name;
+      const core::CpfConfig* config;
+      double fixed_bits;
+    } variants[] = {{"CPF (raw)", &cpf, 32.0},
+                    {"DPF (quantized)", &dpf, 16.0},
+                    {"DPF-A (Huffman innovations)", &dpfa, 0.0}};
+    for (const auto& v : variants) {
+      const Row r = run(*v.config, scenario, options.trials, options.seed);
+      auto row = table.row();
+      row.cell(v.name)
+          .cell(r.rmse, 2)
+          .cell(r.bytes, 0)
+          .cell(r.messages, 0)
+          .cell(v.fixed_bits > 0.0 ? v.fixed_bits : r.bits_per_measurement, 1);
+      table.commit_row(row);
+    }
+    bench::emit(table, options, "Ablation A9: adaptive encoding");
+    std::cout << "\nHuffman-coded innovations need only a few bits each (the"
+                 " innovation entropy), but the radio still sends one frame"
+                 " per measurement per hop — bytes shrink toward the 1-byte"
+                 " frame floor while the MESSAGE count stays put, which is"
+                 " exactly the paper's argument for the completely"
+                 " distributed family.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

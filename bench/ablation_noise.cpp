@@ -1,0 +1,57 @@
+// Ablation A7: measurement-noise sensitivity. CPF, SDPF and CDPF consume
+// the bearing measurements, so their error grows with sigma_n; CDPF-NE
+// replaced the likelihood with the geometric neighborhood estimate and is
+// (by construction) insensitive to it — the flip side of its accuracy loss.
+//
+//   ./ablation_noise [--density=20] [--trials=5]
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    const bench::BenchOptions options = bench::parse_common(args, 5);
+    const double density = args.get_double("density").value_or(20.0);
+    args.check_unknown();
+
+    sim::Scenario scenario;
+    scenario.density_per_100m2 = density;
+
+    std::cout << "Ablation A7 — bearing noise sigma_n (density " << density << ", "
+              << options.trials << " trials; paper: sigma_n = 0.05)\n";
+    support::Table table({"sigma_n (rad)", "CPF RMSE (m)", "SDPF RMSE (m)",
+                          "CDPF RMSE (m)", "CDPF-NE RMSE (m)"});
+    for (const double sigma : {0.01, 0.05, 0.1, 0.2, 0.5}) {
+      sim::AlgorithmParams params;
+      params.cpf.sigma_bearing = sigma;
+      params.sdpf.sigma_bearing = sigma;
+      params.cdpf.sigma_bearing = sigma;
+      auto run = [&](sim::AlgorithmKind kind) {
+        return sim::run_monte_carlo(scenario, kind, params, options.trials,
+                                    options.seed)
+            .rmse.mean();
+      };
+      auto row = table.row();
+      row.cell(sigma, 2)
+          .cell(run(sim::AlgorithmKind::kCpf), 2)
+          .cell(run(sim::AlgorithmKind::kSdpf), 2)
+          .cell(run(sim::AlgorithmKind::kCdpf), 2)
+          .cell(run(sim::AlgorithmKind::kCdpfNe), 2);
+      table.commit_row(row);
+    }
+    bench::emit(table, options, "Ablation A7: measurement noise");
+    std::cout << "\nThe node-hosted filters are nearly flat in sigma_n: their"
+                 " effective measurement noise is dominated by the angular"
+                 " uncertainty of the ~2 m node-position quantization"
+                 " (delta/d ~ 0.2 rad), not by the sensor noise itself —"
+                 " the error floor of the particles-on-nodes architecture."
+                 " CDPF-NE ignores measurements entirely and is exactly"
+                 " constant.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

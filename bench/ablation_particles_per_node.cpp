@@ -1,0 +1,58 @@
+// Ablation A2: where does CDPF's ~90% saving over SDPF come from? Sweep
+// SDPF's particles-per-detecting-node (the paper evaluates eight). SDPF's
+// propagation cost scales linearly with it while CDPF's one-combined-
+// particle-per-node discipline is insensitive — with one particle per node,
+// SDPF's remaining overhead versus CDPF is the weight-aggregation traffic
+// (the 2 D_w vs D_w of Table I).
+//
+//   ./ablation_particles_per_node [--density=20] [--trials=5]
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    const bench::BenchOptions options = bench::parse_common(args, 5);
+    const double density = args.get_double("density").value_or(20.0);
+    args.check_unknown();
+
+    sim::Scenario scenario;
+    scenario.density_per_100m2 = density;
+
+    const sim::AlgorithmParams baseline;
+    const auto cdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf,
+                                           baseline, options.trials, options.seed);
+
+    std::cout << "Ablation A2 — SDPF particles per detecting node (density "
+              << density << ", " << options.trials << " trials; CDPF reference: "
+              << support::format_double(cdpf.total_bytes.mean(), 0) << " B, RMSE "
+              << support::format_double(cdpf.rmse.mean(), 2) << " m)\n";
+
+    support::Table table({"particles/node", "SDPF bytes", "SDPF RMSE (m)",
+                          "CDPF saving vs SDPF"});
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                std::size_t{8}, std::size_t{16}}) {
+      sim::AlgorithmParams params;
+      params.sdpf.particles_per_detection = n;
+      const auto sdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf,
+                                             params, options.trials, options.seed);
+      auto row = table.row();
+      row.cell(n)
+          .cell(sdpf.total_bytes.mean(), 0)
+          .cell(sdpf.rmse.mean(), 2)
+          .cell("-" +
+                support::format_double(
+                    100.0 * (1.0 - cdpf.total_bytes.mean() / sdpf.total_bytes.mean()),
+                    1) +
+                "%");
+      table.commit_row(row);
+    }
+    bench::emit(table, options, "Ablation A2: SDPF particle count");
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,51 @@
+// Ablation A5 (paper future work #2: "apply CDPF's idea to more PF
+// branches"): the resampling scheme inside the WSN filters. SDPF resamples
+// locally per node; CPF resamples its central cloud. The four classic
+// schemes are compared (the paper's SIR basis resamples every iteration).
+//
+//   ./ablation_resampling [--density=20] [--trials=5]
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "filters/resampling.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    const bench::BenchOptions options = bench::parse_common(args, 5);
+    const double density = args.get_double("density").value_or(20.0);
+    args.check_unknown();
+
+    sim::Scenario scenario;
+    scenario.density_per_100m2 = density;
+
+    std::cout << "Ablation A5 — resampling scheme (density " << density << ", "
+              << options.trials << " trials)\n";
+    support::Table table({"scheme", "CPF RMSE (m)", "SDPF RMSE (m)"});
+    for (const filters::ResamplingScheme scheme :
+         {filters::ResamplingScheme::kMultinomial, filters::ResamplingScheme::kStratified,
+          filters::ResamplingScheme::kSystematic, filters::ResamplingScheme::kResidual}) {
+      sim::AlgorithmParams params;
+      params.cpf.resampling = scheme;
+      params.sdpf.resampling = scheme;
+      const auto cpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCpf, params,
+                                            options.trials, options.seed);
+      const auto sdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf,
+                                             params, options.trials, options.seed);
+      auto row = table.row();
+      row.cell(std::string(filters::resampling_scheme_name(scheme)))
+          .cell(cpf.rmse.mean(), 2)
+          .cell(sdpf.rmse.mean(), 2);
+      table.commit_row(row);
+    }
+    bench::emit(table, options, "Ablation A5: resampling scheme");
+    std::cout << "\nAll schemes are unbiased; differences reflect resampling"
+                 " variance only, so the curves should be close — systematic"
+                 " (the default) has the lowest variance.\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the figure/table reproduction benches: standard flags
+// (--trials, --seed, --densities, --csv) and the density-sweep runner.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace cdpf::bench {
+
+struct BenchOptions {
+  std::vector<double> densities{5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0};
+  std::size_t trials = 10;  // paper: ten repetitions with variable seeds
+  std::uint64_t seed = 20110516;  // IPDPS 2011 opening day
+  std::optional<std::string> csv_path;
+};
+
+/// Parse the standard bench flags; callers may query extra flags on the
+/// returned CliArgs before calling args.check_unknown().
+inline BenchOptions parse_common(support::CliArgs& args,
+                                 std::size_t default_trials = 10) {
+  BenchOptions options;
+  options.trials = default_trials;
+  if (const auto d = args.get_double_list("densities")) {
+    options.densities = *d;
+  }
+  if (const auto t = args.get_int("trials")) {
+    options.trials = static_cast<std::size_t>(*t);
+  }
+  if (const auto s = args.get_int("seed")) {
+    options.seed = static_cast<std::uint64_t>(*s);
+  }
+  options.csv_path = args.get_string("csv");
+  return options;
+}
+
+/// Emit the finished table to stdout (ASCII) and optionally to CSV.
+inline void emit(const support::Table& table, const BenchOptions& options,
+                 const std::string& title) {
+  std::cout << "\n== " << title << " ==\n" << table.to_ascii();
+  if (options.csv_path) {
+    table.write_csv(*options.csv_path);
+    std::cout << "(CSV written to " << *options.csv_path << ")\n";
+  }
+}
+
+}  // namespace cdpf::bench

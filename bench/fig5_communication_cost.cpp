@@ -1,0 +1,66 @@
+// Figure 5 reproduction: total communication cost (bytes) of CPF, SDPF,
+// CDPF and CDPF-NE versus node density (5..40 nodes/100 m^2), averaged over
+// ten runs — plus the message counts the paper's introduction argues matter
+// even more in duty-cycled networks.
+//
+// Expected shape (paper §VI-B): every curve grows with density; SDPF is the
+// most expensive (eight particles per detecting node); CPF sits between
+// SDPF and CDPF at this network scale; CDPF cuts SDPF by up to ~90%; and
+// CDPF-NE achieves the minimum.
+//
+//   ./fig5_communication_cost [--densities=5,10,...] [--trials=10] [--csv=x]
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    const bench::BenchOptions options = bench::parse_common(args);
+    args.check_unknown();
+
+    std::cout << "Figure 5 — communication cost vs node density ("
+              << options.trials << " trials per point)\n";
+    support::Table table({"density (nodes/100m^2)", "CPF (B)", "SDPF (B)", "CDPF (B)",
+                          "CDPF-NE (B)", "CPF msgs", "SDPF msgs", "CDPF msgs",
+                          "CDPF-NE msgs", "CDPF vs SDPF"});
+
+    const sim::AlgorithmParams params;
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCpf,
+                                        sim::AlgorithmKind::kSdpf,
+                                        sim::AlgorithmKind::kCdpf,
+                                        sim::AlgorithmKind::kCdpfNe};
+    support::Stopwatch stopwatch;
+    for (const double density : options.densities) {
+      sim::Scenario scenario;
+      scenario.density_per_100m2 = density;
+      double bytes[4] = {};
+      double msgs[4] = {};
+      for (int i = 0; i < 4; ++i) {
+        const sim::MonteCarloResult r = sim::run_monte_carlo(
+            scenario, kinds[i], params, options.trials, options.seed);
+        bytes[i] = r.total_bytes.mean();
+        msgs[i] = r.total_messages.mean();
+      }
+      auto row = table.row();
+      row.cell(density, 0);
+      for (int i = 0; i < 4; ++i) {
+        row.cell(bytes[i], 0);
+      }
+      for (int i = 0; i < 4; ++i) {
+        row.cell(msgs[i], 0);
+      }
+      row.cell("-" + support::format_double(100.0 * (1.0 - bytes[2] / bytes[1]), 1) +
+               "%");
+      table.commit_row(row);
+    }
+    bench::emit(table, options, "Figure 5");
+    std::cout << "(swept in " << support::format_double(stopwatch.elapsed_seconds(), 1)
+              << " s)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

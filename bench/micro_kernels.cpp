@@ -1,0 +1,162 @@
+// Microbenchmarks (google-benchmark) of the simulator's hot kernels:
+// resampling, spatial queries, particle propagation, and one full filter
+// iteration per algorithm.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/propagation.hpp"
+#include "filters/resampling.hpp"
+#include "filters/sir_filter.hpp"
+#include "geom/grid_index.hpp"
+#include "geom/kdtree.hpp"
+#include "sim/experiment.hpp"
+#include "wsn/deployment.hpp"
+
+namespace {
+
+using namespace cdpf;
+
+void BM_ResampleIndices(benchmark::State& state) {
+  const auto scheme = static_cast<filters::ResamplingScheme>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  rng::Rng rng(1);
+  std::vector<double> weights(n);
+  for (double& w : weights) {
+    w = rng.uniform(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filters::resample_indices(weights, n, scheme, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ResampleIndices)
+    ->ArgsProduct({{0, 1, 2, 3}, {1000, 10000}})
+    ->ArgNames({"scheme", "n"});
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0));
+  rng::Rng rng(2);
+  const geom::Aabb field = geom::Aabb::square(200.0);
+  const auto points = wsn::deploy_uniform_random(
+      wsn::node_count_for_density(density, field), field, rng);
+  const geom::GridIndex index(points, field, 10.0);
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    const geom::Vec2 c{rng.uniform(20.0, 180.0), rng.uniform(20.0, 180.0)};
+    benchmark::DoNotOptimize(index.query_disk(c, 30.0, out));
+  }
+}
+BENCHMARK(BM_GridIndexQuery)->Arg(5)->Arg(20)->Arg(40)->ArgName("density");
+
+void BM_KdTreeQuery(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0));
+  rng::Rng rng(2);
+  const geom::Aabb field = geom::Aabb::square(200.0);
+  const auto points = wsn::deploy_uniform_random(
+      wsn::node_count_for_density(density, field), field, rng);
+  const geom::KdTree tree(points);
+  std::vector<std::size_t> out;
+  for (auto _ : state) {
+    const geom::Vec2 c{rng.uniform(20.0, 180.0), rng.uniform(20.0, 180.0)};
+    benchmark::DoNotOptimize(tree.query_disk(c, 30.0, out));
+  }
+}
+BENCHMARK(BM_KdTreeQuery)->Arg(5)->Arg(20)->Arg(40)->ArgName("density");
+
+void BM_PropagationRound(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0));
+  rng::Rng rng(3);
+  sim::Scenario scenario;
+  scenario.density_per_100m2 = density;
+  wsn::Network network = sim::build_network(scenario, rng);
+  wsn::Radio radio(network, scenario.payloads);
+  core::ParticleStore store;
+  for (const wsn::NodeId id : network.nodes_within({100.0, 100.0}, 10.0)) {
+    store.add(id, {3.0, 0.0}, 1.0);
+  }
+  const tracking::RandomTurnMotionModel motion(5.0, 1.0, 0.26, 0.02);
+  const core::PropagationConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::propagate_particles(store, network, radio, motion, config, rng));
+  }
+}
+BENCHMARK(BM_PropagationRound)->Arg(5)->Arg(20)->Arg(40)->ArgName("density");
+
+void BM_SirFilterIteration(benchmark::State& state) {
+  const auto particles = static_cast<std::size_t>(state.range(0));
+  rng::Rng rng(4);
+  filters::SirFilterConfig config;
+  config.num_particles = particles;
+  filters::SirFilter filter(
+      std::make_unique<tracking::RandomTurnMotionModel>(1.0, 1.0, 0.26, 0.02), config);
+  filter.initialize({{100.0, 100.0}, {3.0, 0.0}}, {5.0, 5.0}, {1.0, 1.0}, rng);
+  const tracking::BearingMeasurementModel bearing(0.05);
+  const geom::Vec2 sensors[] = {{95.0, 95.0}, {105.0, 95.0}, {100.0, 108.0}};
+  for (auto _ : state) {
+    filter.predict(rng);
+    filter.update([&](const tracking::TargetState& s) {
+      double ll = 0.0;
+      for (const geom::Vec2 sensor : sensors) {
+        ll += bearing.log_likelihood(0.3, sensor, s.position);
+      }
+      return ll;
+    });
+    filter.maybe_resample(rng);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(particles));
+}
+BENCHMARK(BM_SirFilterIteration)->Arg(100)->Arg(1000)->Arg(10000)->ArgName("particles");
+
+void BM_FullTrackerIteration(benchmark::State& state) {
+  const auto kind = static_cast<sim::AlgorithmKind>(state.range(0));
+  rng::Rng rng(5);
+  sim::Scenario scenario;
+  scenario.density_per_100m2 = 20.0;
+  wsn::Network network = sim::build_network(scenario, rng);
+  wsn::Radio radio(network, scenario.payloads);
+  const sim::AlgorithmParams params;
+  auto tracker = sim::make_tracker(kind, network, radio, params);
+  const double dt = tracker->time_step();
+  double t = 0.0;
+  double x = 30.0;
+  for (auto _ : state) {
+    // Keep the target inside the field; wrap around when it approaches the
+    // far border so the iteration cost stays representative.
+    if (x > 170.0) {
+      x = 30.0;
+    }
+    tracker->iterate({{x, 100.0}, {3.0, 0.0}}, t, rng);
+    tracker->take_estimates();
+    t += dt;
+    x += 3.0 * dt;
+  }
+  state.SetLabel(std::string(sim::algorithm_name(kind)));
+}
+BENCHMARK(BM_FullTrackerIteration)
+    ->DenseRange(0, 4, 1)
+    ->ArgName("algorithm")
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0));
+  rng::Rng rng(6);
+  sim::Scenario scenario;
+  scenario.density_per_100m2 = density;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::build_network(scenario, rng));
+  }
+  state.SetLabel(std::to_string(scenario.node_count()) + " nodes");
+}
+BENCHMARK(BM_NetworkConstruction)
+    ->Arg(5)
+    ->Arg(40)
+    ->ArgName("density")
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Algorithm comparison: sweep all five tracking algorithms over a range of
+// node densities and print accuracy + communication side by side (the
+// user-facing combination of the paper's Figures 5 and 6), with optional
+// CSV export for plotting.
+//
+//   ./algorithm_comparison [--densities=5,20,40] [--trials=5] [--csv=out.csv]
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    std::vector<double> densities{5.0, 20.0, 40.0};
+    if (const auto d = args.get_double_list("densities")) {
+      densities = *d;
+    }
+    const auto trials = static_cast<std::size_t>(args.get_int("trials").value_or(5));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(1));
+    const auto csv = args.get_string("csv");
+    args.check_unknown();
+
+    support::Table table({"density", "algorithm", "RMSE (m)", "mean err (m)",
+                          "bytes", "messages"});
+    const sim::AlgorithmParams params;
+    for (const double density : densities) {
+      sim::Scenario scenario;
+      scenario.density_per_100m2 = density;
+      for (const sim::AlgorithmKind kind : sim::kAllAlgorithms) {
+        const sim::MonteCarloResult r =
+            sim::run_monte_carlo(scenario, kind, params, trials, seed);
+        auto row = table.row();
+        row.cell(density, 0)
+            .cell(std::string(sim::algorithm_name(kind)))
+            .cell(r.rmse.mean(), 2)
+            .cell(r.mean_error.mean(), 2)
+            .cell(r.total_bytes.mean(), 0)
+            .cell(r.total_messages.mean(), 0);
+        table.commit_row(row);
+      }
+    }
+    std::cout << "Algorithm comparison (" << trials << " trials per point)\n\n"
+              << table.to_ascii();
+    if (csv) {
+      table.write_csv(*csv);
+      std::cout << "\nCSV written to " << *csv << '\n';
+    }
+    std::cout << "\nReading guide: CPF is the accuracy ceiling; SDPF matches"
+                 " CDPF's accuracy at ~8x the traffic; CDPF-NE trades accuracy"
+                 " for the architectural communication minimum.\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
+}

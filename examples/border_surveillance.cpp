@@ -1,0 +1,85 @@
+// Border surveillance: the motivating deployment of the paper's
+// introduction. A duty-cycled sensor field watches a border strip; an
+// intruder crosses it; CDPF tracks the intruder while TDSS proactively
+// wakes the nodes ahead of it. The example reports tracking quality,
+// communication, and the per-node energy picture that motivates completely
+// distributed filtering in the first place.
+//
+//   ./border_surveillance [--density=20] [--awake=0.3] [--seed=7]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/cdpf.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "wsn/duty_cycle.hpp"
+#include "wsn/energy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    const double density = args.get_double("density").value_or(20.0);
+    const double awake = args.get_double("awake").value_or(0.3);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(7));
+    args.check_unknown();
+
+    // 1. Deploy the field and attach an energy meter to the radio.
+    sim::Scenario scenario;
+    scenario.density_per_100m2 = density;
+    rng::Rng rng(rng::derive_stream_seed(seed, 0));
+    wsn::Network network = sim::build_network(scenario, rng);
+    wsn::EnergyModel energy(network.size(), wsn::EnergyParams{});
+    wsn::Radio radio(network, scenario.payloads, &energy);
+
+    // 2. The intruder: the paper's border-crossing target.
+    const tracking::Trajectory trajectory =
+        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+
+    // 3. CDPF with TDSS proactive wake-up on a duty-cycled network. The
+    //    wake-up corridor follows the filter's own predicted position once
+    //    available — no oracle knowledge of the trajectory.
+    core::Cdpf tracker(network, radio, core::CdpfConfig{});
+    wsn::DutyCycleSchedule schedule(10.0, awake);
+    wsn::TdssScheduler tdss(network, 25.0);
+    std::size_t wakeups = 0;
+    const sim::StepHook hook = [&](double t) {
+      schedule.apply(network, t);
+      geom::Vec2 corridor{3.0 * t, 100.0};  // coarse entry-gate prediction
+      if (const auto predicted = tracker.predicted_position()) {
+        corridor = *predicted;  // refined by the filter itself
+      }
+      wakeups += tdss.wake_predicted_area(corridor, &radio);
+    };
+
+    const sim::RunOutcome outcome = sim::run_tracking(tracker, trajectory, rng, hook);
+
+    // 4. Report.
+    std::cout << "Border surveillance: " << network.size() << " nodes ("
+              << density << "/100m^2), duty cycle " << awake * 100.0
+              << "% awake, CDPF + TDSS\n\n";
+    support::Table table({"metric", "value"});
+    auto add = [&table](const std::string& name, const std::string& value) {
+      table.add_row({name, value});
+    };
+    add("estimates produced", std::to_string(outcome.scored.size()));
+    add("RMSE (m)", support::format_double(outcome.rmse(), 2));
+    add("max error (m)", support::format_double(outcome.max_error(), 2));
+    add("messages", std::to_string(outcome.comm.total_messages()));
+    add("bytes", std::to_string(outcome.comm.total_bytes()));
+    add("TDSS wake-ups", std::to_string(wakeups));
+    add("total radio energy (mJ)",
+        support::format_double(energy.total_consumed_uj() / 1000.0, 2));
+    add("max per-node energy (uJ)",
+        support::format_double(energy.max_consumed_uj(), 1));
+    std::cout << table.to_ascii();
+    std::cout << "\nper-step detail: " << outcome.comm.summary() << "\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
+}

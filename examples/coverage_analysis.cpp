@@ -1,0 +1,102 @@
+// Coverage analysis: how the deployment strategy shapes what a tracking
+// system can see. Compares uniform-random, jittered-grid and Poisson-disk
+// deployments of the same node budget on (a) detection coverage along a
+// border-crossing corridor, (b) the detecting-node count statistics that
+// drive CDPF's particle population, and (c) end-to-end CDPF accuracy.
+//
+//   ./coverage_analysis [--density=10] [--seed=11]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cdpf.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "wsn/deployment.hpp"
+
+namespace {
+
+using namespace cdpf;
+
+struct Row {
+  double coverage = 0.0;       // fraction of corridor points detectable
+  double mean_detecting = 0.0; // detecting nodes per on-corridor instant
+  double rmse = 0.0;
+};
+
+Row analyze(std::vector<geom::Vec2> positions, std::uint64_t seed) {
+  const wsn::NetworkConfig config{geom::Aabb::square(200.0), 10.0, 30.0};
+  wsn::Network network(std::move(positions), config);
+  rng::Rng rng(seed);
+
+  // (a, b) Sample the corridor the paper's target crosses.
+  Row row;
+  support::RunningStats detecting;
+  std::size_t covered = 0, samples = 0;
+  for (double x = 0.0; x <= 200.0; x += 2.0) {
+    for (double y = 85.0; y <= 115.0; y += 5.0) {
+      const std::size_t n = network.detecting_nodes({x, y}).size();
+      detecting.add(static_cast<double>(n));
+      covered += (n > 0);
+      ++samples;
+    }
+  }
+  row.coverage = static_cast<double>(covered) / static_cast<double>(samples);
+  row.mean_detecting = detecting.mean();
+
+  // (c) One CDPF tracking run over the standard trajectory.
+  wsn::Radio radio(network, wsn::PayloadSizes{});
+  core::Cdpf tracker(network, radio, core::CdpfConfig{});
+  const tracking::Trajectory trajectory =
+      tracking::generate_random_turn_trajectory(tracking::RandomTurnConfig{}, rng);
+  row.rmse = sim::run_tracking(tracker, trajectory, rng).rmse();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    const double density = args.get_double("density").value_or(10.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(11));
+    args.check_unknown();
+
+    const geom::Aabb field = geom::Aabb::square(200.0);
+    const std::size_t count = wsn::node_count_for_density(density, field);
+    rng::Rng rng(rng::derive_stream_seed(seed, 0));
+
+    std::cout << "Deployment strategies at " << count << " nodes (" << density
+              << "/100m^2), corridor y in [85, 115]\n\n";
+    support::Table table({"deployment", "corridor coverage", "detecting nodes (mean)",
+                          "CDPF RMSE (m)"});
+    auto add = [&](const char* name, std::vector<geom::Vec2> positions) {
+      const Row row = analyze(std::move(positions), seed + 1);
+      auto r = table.row();
+      r.cell(name)
+          .cell(support::format_double(100.0 * row.coverage, 1) + "%")
+          .cell(row.mean_detecting, 1)
+          .cell(row.rmse, 2);
+      table.commit_row(r);
+    };
+    add("uniform random", wsn::deploy_uniform_random(count, field, rng));
+    add("jittered grid", wsn::deploy_grid(count, field, 0.3, rng));
+    // Best-candidate Poisson-disk is O(n^2 * candidates); cap the budget.
+    if (count <= 3000) {
+      add("Poisson disk", wsn::deploy_poisson_disk(count, field, 12, rng));
+    } else {
+      std::cout << "(Poisson-disk skipped above 3000 nodes — O(n^2) sampler)\n";
+    }
+    std::cout << table.to_ascii()
+              << "\nBlue-noise deployments (grid, Poisson) buy full corridor"
+                 " coverage at lower density than uniform-random, which leaves"
+                 " coverage holes the tracker must coast across.\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,77 @@
+// Robust tracking under progressive node failure — the paper's future-work
+// question #1 ("evaluate CDPF's tolerance to uncertain factors") as a
+// runnable scenario: nodes die continuously at a configurable hazard rate
+// while CDPF tracks, and the example reports how the track quality degrades
+// as the network thins out underneath the filter.
+//
+//   ./robust_tracking [--density=20] [--hazard=0.002] [--seed=3]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/cdpf.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "wsn/failure.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cdpf;
+  try {
+    support::CliArgs args(argc, argv);
+    const double density = args.get_double("density").value_or(20.0);
+    // Per-node failure rate (1/s). 0.002 kills ~10% of the field over 50 s.
+    const double hazard = args.get_double("hazard").value_or(0.002);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(3));
+    args.check_unknown();
+
+    sim::Scenario scenario;
+    scenario.density_per_100m2 = density;
+    rng::Rng rng(rng::derive_stream_seed(seed, 0));
+    wsn::Network network = sim::build_network(scenario, rng);
+    wsn::Radio radio(network, scenario.payloads);
+    const tracking::Trajectory trajectory =
+        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+
+    core::Cdpf tracker(network, radio, core::CdpfConfig{});
+    wsn::FailureInjector injector(network);
+
+    std::cout << "Robust tracking: " << network.size() << " nodes, hazard rate "
+              << hazard << " /s per node\n\n";
+    support::Table table({"t (s)", "alive nodes", "hosting nodes", "error (m)"});
+    double last_time = -1.0;
+    const sim::StepHook hook = [&](double t) {
+      if (last_time >= 0.0) {
+        injector.step_hazard(hazard, t - last_time, rng);
+      }
+      last_time = t;
+    };
+
+    // Drive manually so the per-iteration state can be tabulated.
+    for (double t = 0.0; t <= trajectory.duration() + 1e-9; t += tracker.time_step()) {
+      hook(t);
+      tracker.iterate(trajectory.at_time(t), t, rng);
+      for (const core::TimedEstimate& e : tracker.take_estimates()) {
+        const auto truth = trajectory.at_time(e.time);
+        auto row = table.row();
+        row.cell(e.time, 0)
+            .cell(injector.alive_count())
+            .cell(tracker.particles().size())
+            .cell(geom::distance(e.state.position, truth.position), 2);
+        table.commit_row(row);
+      }
+    }
+    std::cout << table.to_ascii();
+    const double killed =
+        static_cast<double>(network.size() - injector.alive_count()) /
+        static_cast<double>(network.size());
+    std::cout << "\nBy the end " << support::format_double(100.0 * killed, 1)
+              << "% of the nodes had failed; CDPF re-anchors on the surviving"
+                 " detectors each iteration, so the track degrades gracefully"
+                 " with the effective density instead of being lost.\n";
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
+}

@@ -1,0 +1,362 @@
+#include "core/cdpf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+#include "wsn/routing.hpp"
+
+namespace cdpf::core {
+
+namespace {
+// Clamp for log-domain weight factors: keeps exp() finite even when a
+// sensor lies almost on top of the target and its bearing residual makes
+// the log-likelihood difference astronomically large in either direction.
+constexpr double kMaxLogWeightFactor = 600.0;
+
+/// Position-quantization length used for likelihood inflation: explicit
+/// config value, or half the mean node spacing of the deployment.
+double quantization_length(double configured, const wsn::Network& network) {
+  if (configured >= 0.0) {
+    return configured;
+  }
+  const double density_per_m2 =
+      static_cast<double>(network.size()) / network.config().field.area();
+  return density_per_m2 > 0.0 ? 0.5 / std::sqrt(density_per_m2) : 0.0;
+}
+}  // namespace
+
+Cdpf::Cdpf(wsn::Network& network, wsn::Radio& radio, CdpfConfig config)
+    : network_(network),
+      radio_(radio),
+      config_(config),
+      motion_(tracking::make_motion_model(config.motion, config.dt)),
+      bearing_(config.sigma_bearing) {
+  CDPF_CHECK_MSG(config_.initial_weight > 0.0, "initial weight must be positive");
+  CDPF_CHECK_MSG(config_.prune_threshold >= 0.0, "prune threshold must be >= 0");
+  // Keep the two radii configurations coherent by default.
+  CDPF_CHECK_MSG(config_.propagation.record_radius > 0.0,
+                 "record radius must be positive");
+}
+
+std::string_view Cdpf::name() const {
+  return config_.use_neighborhood_estimation ? "CDPF-NE" : "CDPF";
+}
+
+geom::Vec2 Cdpf::sample_initial_velocity(rng::Rng& rng) {
+  return {rng.gaussian(config_.initial_velocity_mean.x, config_.initial_velocity_sigma),
+          rng.gaussian(config_.initial_velocity_mean.y, config_.initial_velocity_sigma)};
+}
+
+double Cdpf::new_particle_weight() const {
+  // A node creating a particle mid-track assigns it the mean weight of the
+  // particle set it overheard during the last propagation round — a value
+  // it can compute locally. At cold start there is nothing to overhear and
+  // the configured constant is used (paper §III-B: "configured as a
+  // constant, or adaptively determined").
+  const double total = store_.total_weight();
+  if (!store_.empty() && total > 0.0) {
+    return config_.new_particle_weight_factor * total /
+           static_cast<double>(store_.size());
+  }
+  return config_.initial_weight;
+}
+
+double Cdpf::rss_weight_factor(double rss_dbm) const {
+  if (!config_.rss_adaptive_weights || std::isnan(rss_dbm)) {
+    return 1.0;
+  }
+  const tracking::RssMeasurementModel rss(config_.rss);
+  const double estimated_distance = rss.invert_to_distance(rss_dbm);
+  const tracking::LinearProbabilityModel lin_prob(
+      config_.neighborhood.sensing_radius);
+  // Floor at 0.1 so a deep fade cannot zero out a genuine detection.
+  return std::max(0.1, lin_prob.probability(std::min(
+                           estimated_distance, config_.neighborhood.sensing_radius)));
+}
+
+void Cdpf::initialize_from_detections(const SensingSnapshot& snapshot, rng::Rng& rng) {
+  for (const SensingSnapshot::Detection& d : snapshot.detections) {
+    store_.add(d.node, sample_initial_velocity(rng),
+               config_.initial_weight * rss_weight_factor(d.rss_dbm));
+  }
+  if (!snapshot.detections.empty()) {
+    CDPF_LOG_DEBUG(name() << ": initialized " << snapshot.detections.size()
+                          << " particles from first detection");
+  }
+}
+
+void Cdpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rng) {
+  // Assemble the snapshot the sensor field would report: the detecting
+  // nodes, their bearing measurements, and (when RSS weighting is on) the
+  // received signal strengths.
+  SensingSnapshot snapshot;
+  const tracking::RssMeasurementModel rss(config_.rss);
+  for (const wsn::NodeId id : network_.detecting_nodes(truth.position)) {
+    SensingSnapshot::Detection d;
+    d.node = id;
+    if (config_.rss_adaptive_weights) {
+      d.rss_dbm = rss.measure(network_.true_position(id), truth.position, rng);
+    }
+    snapshot.detections.push_back(d);
+    snapshot.measurements.push_back(
+        {id, bearing_.measure(network_.true_position(id), truth.position, rng)});
+  }
+  iterate_snapshot(snapshot, time, rng);
+}
+
+void Cdpf::iterate_snapshot(const SensingSnapshot& snapshot, double time,
+                            rng::Rng& rng) {
+  last_iteration_time_ = time;
+  has_iterated_ = true;
+
+  if (store_.empty()) {
+    // Initialization step: the nodes that first detect the intruding target
+    // each create a particle (sensing only — no communication).
+    initialize_from_detections(snapshot, rng);
+    if (store_.empty()) {
+      return;  // target not detected yet
+    }
+    // The initial weights are known constants, so the correction machinery
+    // has a total to work with at the first real iteration.
+    predicted_position_.reset();
+  } else {
+    // -- Step 1: Prediction — propagate particles along the trajectory. ---
+    PropagationOutcome outcome = propagate_particles(
+        store_, network_, radio_, *motion_, config_.propagation, rng);
+
+    // -- Step 2: Correction — normalize by the overheard total, estimate
+    //    the PREVIOUS iteration, resample (prune). ---------------------
+    if (outcome.global.total_weight <= 0.0 || outcome.next.empty()) {
+      // Track lost (all particles dropped or no recorders). Reinitialize
+      // from the current detections, like the cold start.
+      CDPF_LOG_DEBUG(name() << ": track lost at t=" << time << ", reinitializing");
+      store_.clear();
+      last_propagation_.reset();
+      predicted_position_.reset();
+      initialize_from_detections(snapshot, rng);
+      if (store_.empty()) {
+        return;
+      }
+    } else {
+      const tracking::TargetState previous = outcome.global.estimate();
+      pending_estimates_.push_back({previous, time - config_.dt});
+      predicted_position_ = previous.position + previous.velocity * config_.dt;
+
+      if (config_.report_estimates_to_sink) {
+        // One of the recorders (the one nearest the estimate) reports to the
+        // sink hop by hop.
+        const wsn::GreedyGeographicRouter router(network_);
+        wsn::NodeId reporter = wsn::kInvalidNodeId;
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& [host, p] : outcome.next.by_host()) {
+          const double d =
+              geom::distance_squared(network_.position(host), previous.position);
+          if (d < best && network_.is_active(host)) {
+            best = d;
+            reporter = host;
+          }
+        }
+        if (reporter != wsn::kInvalidNodeId) {
+          router.send(radio_, reporter, network_.sink(), wsn::MessageKind::kEstimate,
+                      radio_.payloads().estimate);
+        }
+      }
+
+      store_ = outcome.next;  // keep the recorded set in last_propagation_
+      store_.normalize(outcome.global.total_weight);
+      store_.prune_below(config_.prune_threshold);
+      last_propagation_ = std::move(outcome);
+    }
+  }
+
+  // -- Steps 3 + 4: Likelihood & Assign weight (or neighborhood estimate).
+  std::vector<wsn::NodeId> detecting;
+  detecting.reserve(snapshot.detections.size());
+  for (const SensingSnapshot::Detection& d : snapshot.detections) {
+    detecting.push_back(d.node);
+  }
+  if (!store_.empty()) {
+    if (config_.use_neighborhood_estimation) {
+      neighborhood_assign(detecting);
+    } else {
+      likelihood_and_assign(snapshot);
+    }
+  }
+
+  // A node that detects the target but holds no particle creates one, as in
+  // the initialization step (paper §III-B, last paragraph); one that holds
+  // a particle whose weight collapsed below that level raises it to the
+  // same floor — its local detection contradicts the collapse. These
+  // particles anchor the filter to the current detections and keep N_s
+  // proportional to the detection neighborhood (paper §III-A: the hosting
+  // nodes "are always around the target trajectory" and bounded by the
+  // deployment density).
+  const double anchor_weight = new_particle_weight();
+  for (const SensingSnapshot::Detection& d : snapshot.detections) {
+    const double weight = anchor_weight * rss_weight_factor(d.rss_dbm);
+    if (!store_.contains(d.node)) {
+      store_.add(d.node, sample_initial_velocity(rng), weight);
+    } else {
+      store_.raise_weight_to(d.node, weight);
+    }
+  }
+
+  // Distributed resampling, paper §III-B: "if the likelihood function shows
+  // zero or almost zero density, this node may drop the particle on it and
+  // stop broadcasting". Dropping happens here — after the weight update and
+  // BEFORE the next propagation round — so negligible hosts never transmit
+  // again. The threshold is relative to the current total (a host compares
+  // its own weight with the total it will overhear anyway).
+  const double total = store_.total_weight();
+  if (total <= 0.0) {
+    // Weight update annihilated every particle and nothing detects the
+    // target: reinitialize at the next iteration.
+    store_.clear();
+    return;
+  }
+  double threshold = config_.prune_threshold * total;
+  if (config_.use_neighborhood_estimation) {
+    // NE has no sharp likelihood to concentrate mass; the below-mean rule
+    // bounds the broadcasting population instead.
+    const double mean = total / static_cast<double>(store_.size());
+    threshold = std::max(threshold, config_.ne_prune_mean_fraction * mean);
+  }
+  store_.prune_below(threshold);
+}
+
+void Cdpf::likelihood_and_assign(const SensingSnapshot& snapshot) {
+  // Step 3: every measuring node broadcasts its measurement (D_m). Hosts
+  // evaluate the joint likelihood of the measurements they can hear.
+  const auto& shared = snapshot.measurements;
+  for (const SensingSnapshot::Measurement& m : shared) {
+    radio_.broadcast(m.sender, wsn::MessageKind::kMeasurement,
+                     radio_.payloads().measurement);
+  }
+  if (shared.empty()) {
+    return;  // no information this iteration; weights carry over
+  }
+
+  // Step 4: w <- w * prod_m p(z_m | particle position), evaluated in the
+  // log domain RELATIVE to a commonly known reference point so the product
+  // over dozens of sensors neither overflows nor underflows for plausible
+  // hosts. Any constant shared by all hosts cancels at the next
+  // normalization. Genuine underflow to zero remains the paper's "drop the
+  // particle when the likelihood shows (almost) zero density".
+  // The reference is the centroid of the measurement senders: every host
+  // hears the same measurements (sender positions included), so the
+  // constant is consistent across hosts, and the centroid is always close
+  // to the target, which keeps the clamped range from saturating and
+  // erasing the ordering between hosts.
+  const double delta = quantization_length(config_.position_quantization_m, network_);
+  // Effective per-sensor angular noise at evaluation point p: the base
+  // sigma plus the angle subtended by the quantization length at the
+  // sensor-to-p distance.
+  auto effective_sigma = [&](geom::Vec2 sensor, geom::Vec2 p) {
+    const double d = std::max(geom::distance(sensor, p), delta > 0.0 ? delta : 1e-3);
+    return std::hypot(bearing_.sigma(), delta / d);
+  };
+  geom::Vec2 reference;
+  for (const SensingSnapshot::Measurement& s : shared) {
+    reference += network_.position(s.sender);
+  }
+  reference = reference / static_cast<double>(shared.size());
+  double reference_log_likelihood = 0.0;
+  for (const SensingSnapshot::Measurement& s : shared) {
+    const geom::Vec2 sensor = network_.position(s.sender);
+    reference_log_likelihood += bearing_.log_likelihood_inflated(
+        s.bearing_rad, sensor, reference, effective_sigma(sensor, reference));
+  }
+
+  const double comm_radius = network_.config().comm_radius;
+  for (const wsn::NodeId host : store_.sorted_hosts()) {
+    const geom::Vec2 host_pos = network_.position(host);
+    double log_likelihood = 0.0;
+    bool heard_any = false;
+    for (const SensingSnapshot::Measurement& s : shared) {
+      const geom::Vec2 sensor = network_.position(s.sender);
+      if (geom::distance(sensor, host_pos) <= comm_radius) {
+        log_likelihood += bearing_.log_likelihood_inflated(
+            s.bearing_rad, sensor, host_pos, effective_sigma(sensor, host_pos));
+        heard_any = true;
+      }
+    }
+    if (heard_any) {
+      store_.scale_weight(host,
+                          std::exp(std::clamp(log_likelihood - reference_log_likelihood,
+                                              -kMaxLogWeightFactor, kMaxLogWeightFactor)));
+    } else {
+      // The target IS detected this iteration, yet this host is out of
+      // earshot of every detecting sensor — it must be > r_c - r_s from
+      // the target, where the bearing likelihood is negligible anyway.
+      // Without this, distant hosts would sit in a "no information"
+      // sanctuary and keep their weight while plausible hosts are being
+      // renormalized (the paper's blank-node rule: drop on ~zero density).
+      store_.scale_weight(host, std::exp(-kMaxLogWeightFactor));
+    }
+  }
+}
+
+void Cdpf::neighborhood_assign(const std::vector<wsn::NodeId>& detecting) {
+  if (!predicted_position_.has_value()) {
+    // No prediction yet (first iteration after (re)initialization): without
+    // a predicted position there is nothing to estimate against; keep the
+    // constant initial weights.
+    return;
+  }
+  const geom::Vec2 predicted = *predicted_position_;
+  // All active nodes inside the estimation area participate in the
+  // normalization set (they are the nodes that may detect the target).
+  std::vector<wsn::NodeId> area_nodes;
+  network_.active_nodes_within(predicted, config_.neighborhood.sensing_radius,
+                               area_nodes);
+  std::vector<geom::Vec2> positions;
+  positions.reserve(area_nodes.size());
+  for (const wsn::NodeId id : area_nodes) {
+    positions.push_back(network_.position(id));
+  }
+  const std::vector<double> contributions =
+      estimated_contributions(positions, predicted, config_.neighborhood);
+
+  // w_{k+1} = w_k * c_0 for hosts inside the area; hosts outside have
+  // (estimated) zero contribution and are dropped at the next prune. A host
+  // whose own sensor detects the target additionally multiplies in the
+  // detection boost — its one locally available (communication-free)
+  // measurement.
+  for (const wsn::NodeId host : store_.sorted_hosts()) {
+    double c = 0.0;
+    for (std::size_t i = 0; i < area_nodes.size(); ++i) {
+      if (area_nodes[i] == host) {
+        c = contributions[i];
+        break;
+      }
+    }
+    if (std::find(detecting.begin(), detecting.end(), host) != detecting.end()) {
+      // A detecting host outside the (mispredicted) estimation area floors
+      // its contribution at the area's mean — its own detection says the
+      // prediction, not the particle, is wrong.
+      c = std::max(c, 1.0 / static_cast<double>(area_nodes.size() + 1)) *
+          config_.detection_weight_boost;
+    }
+    store_.scale_weight(host, c);
+  }
+}
+
+std::vector<TimedEstimate> Cdpf::take_estimates() {
+  std::vector<TimedEstimate> out = std::move(pending_estimates_);
+  pending_estimates_.clear();
+  return out;
+}
+
+void Cdpf::finalize() {
+  // The correction step only estimates iteration k during iteration k+1;
+  // flush the estimate for the final iteration from the current store.
+  if (!has_iterated_ || store_.empty() || store_.total_weight() <= 0.0) {
+    return;
+  }
+  pending_estimates_.push_back({store_.estimate(network_), last_iteration_time_});
+}
+
+}  // namespace cdpf::core

@@ -1,0 +1,52 @@
+#include "core/cost_model.hpp"
+
+namespace cdpf::core {
+
+std::size_t centralized_cost_bytes(std::size_t total_hops, std::size_t payload_bytes) {
+  return total_hops * payload_bytes;
+}
+
+std::size_t sdpf_cost_bytes(std::size_t num_particles, std::size_t num_detecting,
+                            const wsn::PayloadSizes& payloads) {
+  return num_particles * (payloads.particle + payloads.weight)  // propagation
+         + num_detecting * payloads.measurement                 // measurement sharing
+         + num_particles * payloads.weight                      // weight upload
+         + payloads.control + payloads.weight;                  // query + total ("+2")
+}
+
+std::size_t cdpf_cost_bytes(std::size_t num_particles, std::size_t num_detecting,
+                            const wsn::PayloadSizes& payloads) {
+  return num_particles * (payloads.particle + payloads.weight) +
+         num_detecting * payloads.measurement;
+}
+
+std::size_t cdpf_ne_cost_bytes(std::size_t num_particles,
+                               const wsn::PayloadSizes& payloads) {
+  return num_particles * (payloads.particle + payloads.weight);
+}
+
+std::size_t table1_cpf(std::size_t num_measuring, std::size_t mean_hops,
+                       const wsn::PayloadSizes& payloads) {
+  return num_measuring * payloads.measurement * mean_hops;
+}
+
+std::size_t table1_dpf(std::size_t num_measuring, std::size_t mean_hops,
+                       const wsn::PayloadSizes& payloads) {
+  return num_measuring * payloads.quantized_measurement * mean_hops;
+}
+
+std::size_t table1_sdpf(std::size_t num_particles, const wsn::PayloadSizes& payloads) {
+  return num_particles *
+         (payloads.particle + payloads.measurement + 2 * payloads.weight);
+}
+
+std::size_t table1_cdpf(std::size_t num_particles, const wsn::PayloadSizes& payloads) {
+  return num_particles * (payloads.particle + payloads.measurement + payloads.weight);
+}
+
+std::size_t table1_cdpf_ne(std::size_t num_particles,
+                           const wsn::PayloadSizes& payloads) {
+  return num_particles * (payloads.particle + payloads.weight);
+}
+
+}  // namespace cdpf::core

@@ -1,0 +1,53 @@
+// Analytical communication-cost model — the paper's Table I, plus exact
+// per-iteration formulas that the tests check against the simulator's
+// measured byte counts.
+//
+//   CPF     N D_m H_max            (we track the exact sum over hops)
+//   DPF     N P H_max
+//   SDPF    N_s (D_p + D_m + 2 D_w)
+//   CDPF    N_s (D_p + D_m + D_w)
+//   CDPF-NE N_s (D_p + D_w)        (Section V-C: the architectural minimum)
+#pragma once
+
+#include <cstddef>
+
+#include "wsn/message.hpp"
+
+namespace cdpf::core {
+
+/// Exact per-iteration cost of CPF/DPF convergecast: payload bytes carried
+/// over `total_hops` relay transmissions (the sum of H_i over detecting
+/// nodes).
+std::size_t centralized_cost_bytes(std::size_t total_hops, std::size_t payload_bytes);
+
+/// Exact per-iteration SDPF cost: propagation of `num_particles` particles,
+/// `num_detecting` measurement broadcasts, per-particle weight upload, and
+/// the transceiver's query + total broadcasts.
+std::size_t sdpf_cost_bytes(std::size_t num_particles, std::size_t num_detecting,
+                            const wsn::PayloadSizes& payloads);
+
+/// Exact per-iteration CDPF cost: propagation of `num_particles` combined
+/// particles plus `num_detecting` measurement broadcasts.
+std::size_t cdpf_cost_bytes(std::size_t num_particles, std::size_t num_detecting,
+                            const wsn::PayloadSizes& payloads);
+
+/// Exact per-iteration CDPF-NE cost: propagation only.
+std::size_t cdpf_ne_cost_bytes(std::size_t num_particles,
+                               const wsn::PayloadSizes& payloads);
+
+// -- The asymptotic Table I expressions (for the table bench) --------------
+
+/// N D_m H: Table I row "CPF".
+std::size_t table1_cpf(std::size_t num_measuring, std::size_t mean_hops,
+                       const wsn::PayloadSizes& payloads);
+/// N P H: Table I row "DPF".
+std::size_t table1_dpf(std::size_t num_measuring, std::size_t mean_hops,
+                       const wsn::PayloadSizes& payloads);
+/// N_s (D_p + D_m + 2 D_w): Table I row "SDPF".
+std::size_t table1_sdpf(std::size_t num_particles, const wsn::PayloadSizes& payloads);
+/// N_s (D_p + D_m + D_w): Table I row "CDPF".
+std::size_t table1_cdpf(std::size_t num_particles, const wsn::PayloadSizes& payloads);
+/// N_s (D_p + D_w): the improved CDPF-NE bound of Section V-C.
+std::size_t table1_cdpf_ne(std::size_t num_particles, const wsn::PayloadSizes& payloads);
+
+}  // namespace cdpf::core

@@ -1,0 +1,210 @@
+#include "core/multi_target.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace cdpf::core {
+
+MultiTargetTracker::MultiTargetTracker(wsn::Network& network, wsn::Radio& radio,
+                                       MultiTargetConfig config)
+    : network_(network),
+      radio_(radio),
+      config_(config),
+      bearing_(config.filter.sigma_bearing) {
+  CDPF_CHECK_MSG(config_.gating_radius > 0.0, "gating radius must be positive");
+  CDPF_CHECK_MSG(config_.spawn_min_detections >= 1, "spawn threshold must be >= 1");
+  CDPF_CHECK_MSG(config_.max_tracks >= 1, "need room for at least one track");
+}
+
+void MultiTargetTracker::iterate(std::span<const tracking::TargetState> truths,
+                                 double time, rng::Rng& rng) {
+  // --- Physical sensing: each active node detects the NEAREST target
+  // within its sensing radius and measures a bearing toward it. -----------
+  std::vector<SensingSnapshot::Detection> detections;
+  std::vector<SensingSnapshot::Measurement> measurements;
+  {
+    std::unordered_map<wsn::NodeId, double> nearest;  // node -> distance^2
+    std::unordered_map<wsn::NodeId, geom::Vec2> toward;
+    std::vector<wsn::NodeId> scratch;
+    for (const tracking::TargetState& truth : truths) {
+      network_.active_nodes_within(truth.position,
+                                   network_.config().sensing_radius, scratch);
+      for (const wsn::NodeId id : scratch) {
+        const double d2 =
+            geom::distance_squared(network_.true_position(id), truth.position);
+        const auto it = nearest.find(id);
+        if (it == nearest.end() || d2 < it->second) {
+          nearest[id] = d2;
+          toward[id] = truth.position;
+        }
+      }
+    }
+    for (const auto& [id, d2] : nearest) {
+      detections.push_back({id, std::numeric_limits<double>::quiet_NaN()});
+      measurements.push_back(
+          {id, bearing_.measure(network_.true_position(id), toward[id], rng)});
+    }
+    // Deterministic order for reproducible downstream rng consumption.
+    std::sort(detections.begin(), detections.end(),
+              [](const auto& a, const auto& b) { return a.node < b.node; });
+    std::sort(measurements.begin(), measurements.end(),
+              [](const auto& a, const auto& b) { return a.sender < b.sender; });
+  }
+
+  // --- Data association: nearest gate within the gating radius wins. -----
+  std::vector<SensingSnapshot> per_track(tracks_.size());
+  std::vector<SensingSnapshot::Detection> unassigned;
+  std::vector<SensingSnapshot::Measurement> unassigned_measurements;
+  for (std::size_t d = 0; d < detections.size(); ++d) {
+    const geom::Vec2 pos = network_.position(detections[d].node);
+    std::size_t best_track = tracks_.size();
+    double best = config_.gating_radius;
+    for (std::size_t k = 0; k < tracks_.size(); ++k) {
+      if (!tracks_[k].gate_center) {
+        continue;
+      }
+      const double dist = geom::distance(pos, *tracks_[k].gate_center);
+      if (dist < best) {
+        best = dist;
+        best_track = k;
+      }
+    }
+    if (best_track < tracks_.size()) {
+      per_track[best_track].detections.push_back(detections[d]);
+      per_track[best_track].measurements.push_back(measurements[d]);
+    } else {
+      unassigned.push_back(detections[d]);
+      unassigned_measurements.push_back(measurements[d]);
+    }
+  }
+
+  // --- Run every live track on its snapshot. ------------------------------
+  for (std::size_t k = 0; k < tracks_.size(); ++k) {
+    Track& track = tracks_[k];
+    track.filter->iterate_snapshot(per_track[k], time, rng);
+    for (TimedEstimate& e : track.filter->take_estimates()) {
+      // The estimate refers to the PREVIOUS iteration (CDPF's lag): one
+      // step of lead gives the position now, two steps the gate for the
+      // next association round.
+      track.current_position = e.state.position + e.state.velocity * time_step();
+      track.gate_center = e.state.position + e.state.velocity * (2.0 * time_step());
+      pending_.push_back({track.id, std::move(e)});
+    }
+    if (per_track[k].detections.empty() || track.filter->particles().empty()) {
+      ++track.misses;  // nothing claimed: the target left this gate
+    } else {
+      track.misses = 0;
+    }
+  }
+
+  // --- Track death. -------------------------------------------------------
+  std::erase_if(tracks_, [this](const Track& t) {
+    if (t.misses > config_.miss_limit || t.filter->particles().empty()) {
+      CDPF_LOG_DEBUG("multi-target: dropping track " << t.id);
+      return true;
+    }
+    return false;
+  });
+
+  // --- Track merging: two gates on the same target become one track. ------
+  const double merge_radius = config_.merge_radius > 0.0
+                                  ? config_.merge_radius
+                                  : network_.config().sensing_radius;
+  for (std::size_t a = 0; a < tracks_.size(); ++a) {
+    for (std::size_t b = a + 1; b < tracks_.size();) {
+      if (tracks_[a].gate_center && tracks_[b].gate_center &&
+          geom::distance(*tracks_[a].gate_center, *tracks_[b].gate_center) <
+              merge_radius) {
+        // Keep the better-established population.
+        const std::size_t victim =
+            tracks_[a].filter->particles().size() >=
+                    tracks_[b].filter->particles().size()
+                ? b
+                : a;
+        CDPF_LOG_DEBUG("multi-target: merging track " << tracks_[victim].id);
+        tracks_.erase(tracks_.begin() + static_cast<std::ptrdiff_t>(victim));
+        if (victim == a) {
+          b = a + 1;  // the survivor moved into slot a; restart inner scan
+        }
+      } else {
+        ++b;
+      }
+    }
+  }
+
+  // --- Track birth from unassociated detection clusters. ------------------
+  spawn_tracks(unassigned, unassigned_measurements, time, rng);
+}
+
+void MultiTargetTracker::spawn_tracks(
+    const std::vector<SensingSnapshot::Detection>& unassigned,
+    const std::vector<SensingSnapshot::Measurement>& measurements, double time,
+    rng::Rng& rng) {
+  if (unassigned.size() < config_.spawn_min_detections ||
+      tracks_.size() >= config_.max_tracks) {
+    return;
+  }
+  // Greedy clustering: grow a cluster around each unused detection with the
+  // 2 r_s proximity rule; spawn one track per sufficiently large cluster.
+  const double link = 2.0 * network_.config().sensing_radius;
+  std::vector<bool> used(unassigned.size(), false);
+  for (std::size_t seed = 0; seed < unassigned.size(); ++seed) {
+    if (used[seed] || tracks_.size() >= config_.max_tracks) {
+      continue;
+    }
+    std::vector<std::size_t> cluster{seed};
+    used[seed] = true;
+    for (std::size_t grow = 0; grow < cluster.size(); ++grow) {
+      const geom::Vec2 base = network_.position(unassigned[cluster[grow]].node);
+      for (std::size_t j = 0; j < unassigned.size(); ++j) {
+        if (!used[j] &&
+            geom::distance(network_.position(unassigned[j].node), base) <= link) {
+          used[j] = true;
+          cluster.push_back(j);
+        }
+      }
+    }
+    if (cluster.size() < config_.spawn_min_detections) {
+      continue;
+    }
+    SensingSnapshot snapshot;
+    geom::Vec2 centroid{};
+    for (const std::size_t j : cluster) {
+      snapshot.detections.push_back(unassigned[j]);
+      snapshot.measurements.push_back(measurements[j]);
+      centroid += network_.position(unassigned[j].node);
+    }
+    centroid = centroid / static_cast<double>(cluster.size());
+
+    Track track;
+    track.id = next_track_id_++;
+    track.filter = std::make_unique<Cdpf>(network_, radio_, config_.filter);
+    track.filter->iterate_snapshot(snapshot, time, rng);
+    track.gate_center = centroid;
+    CDPF_LOG_DEBUG("multi-target: spawned track " << track.id << " from "
+                                                  << cluster.size() << " detections");
+    tracks_.push_back(std::move(track));
+  }
+}
+
+std::vector<MultiTargetTracker::TrackEstimate> MultiTargetTracker::take_estimates() {
+  std::vector<TrackEstimate> out = std::move(pending_);
+  pending_.clear();
+  return out;
+}
+
+std::vector<geom::Vec2> MultiTargetTracker::current_positions() const {
+  std::vector<geom::Vec2> out;
+  for (const Track& t : tracks_) {
+    if (t.current_position) {
+      out.push_back(*t.current_position);
+    }
+  }
+  return out;
+}
+
+}  // namespace cdpf::core

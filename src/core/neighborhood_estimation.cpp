@@ -1,0 +1,55 @@
+#include "core/neighborhood_estimation.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace cdpf::core {
+
+namespace {
+
+double clamped_distance(geom::Vec2 node, geom::Vec2 predicted,
+                        const NeighborhoodEstimationConfig& config) {
+  return std::max(geom::distance(node, predicted), config.min_distance_m);
+}
+
+}  // namespace
+
+geom::Disk estimation_area(geom::Vec2 predicted_position,
+                           const NeighborhoodEstimationConfig& config) {
+  CDPF_CHECK_MSG(config.sensing_radius > 0.0, "sensing radius must be positive");
+  return {predicted_position, config.sensing_radius};
+}
+
+std::vector<double> estimated_contributions(std::span<const geom::Vec2> positions,
+                                            geom::Vec2 predicted_position,
+                                            const NeighborhoodEstimationConfig& config) {
+  CDPF_CHECK_MSG(config.min_distance_m > 0.0, "min distance clamp must be positive");
+  std::vector<double> contributions(positions.size());
+  if (positions.empty()) {
+    return contributions;
+  }
+  double inv_sum = 0.0;  // D = sum_j 1/d_j
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    contributions[i] = 1.0 / clamped_distance(positions[i], predicted_position, config);
+    inv_sum += contributions[i];
+  }
+  for (double& c : contributions) {
+    c /= inv_sum;  // c_i = (1/d_i) / D
+  }
+  return contributions;
+}
+
+double own_contribution(geom::Vec2 self, std::span<const geom::Vec2> others,
+                        geom::Vec2 predicted_position,
+                        const NeighborhoodEstimationConfig& config) {
+  CDPF_CHECK_MSG(config.min_distance_m > 0.0, "min distance clamp must be positive");
+  const double own_inv = 1.0 / clamped_distance(self, predicted_position, config);
+  double inv_sum = own_inv;
+  for (const geom::Vec2 other : others) {
+    inv_sum += 1.0 / clamped_distance(other, predicted_position, config);
+  }
+  return own_inv / inv_sum;
+}
+
+}  // namespace cdpf::core

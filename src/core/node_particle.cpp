@@ -1,0 +1,198 @@
+#include "core/node_particle.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace cdpf::core {
+
+void ParticleStore::add(wsn::NodeId host, geom::Vec2 velocity, double weight) {
+  CDPF_CHECK_MSG(weight >= 0.0, "particle weight must be non-negative");
+  auto [it, inserted] = particles_.try_emplace(host, NodeParticle{host, velocity, weight});
+  if (!inserted) {
+    NodeParticle& existing = it->second;
+    const double total = existing.weight + weight;
+    if (total > 0.0) {
+      existing.velocity =
+          (existing.velocity * existing.weight + velocity * weight) / total;
+    }
+    existing.weight = total;
+  }
+}
+
+double ParticleStore::total_weight() const {
+  double total = 0.0;
+  for (const auto& [host, p] : particles_) {
+    total += p.weight;
+  }
+  return total;
+}
+
+const NodeParticle* ParticleStore::find(wsn::NodeId host) const {
+  const auto it = particles_.find(host);
+  return it == particles_.end() ? nullptr : &it->second;
+}
+
+void ParticleStore::scale_weight(wsn::NodeId host, double factor) {
+  CDPF_CHECK_MSG(factor >= 0.0, "weight factor must be non-negative");
+  const auto it = particles_.find(host);
+  CDPF_CHECK_MSG(it != particles_.end(), "no particle hosted on this node");
+  it->second.weight *= factor;
+}
+
+void ParticleStore::raise_weight_to(wsn::NodeId host, double weight) {
+  const auto it = particles_.find(host);
+  CDPF_CHECK_MSG(it != particles_.end(), "no particle hosted on this node");
+  if (it->second.weight < weight) {
+    it->second.weight = weight;
+  }
+}
+
+void ParticleStore::normalize(double total) {
+  CDPF_CHECK_MSG(total > 0.0, "cannot normalize with a non-positive total weight");
+  for (auto& [host, p] : particles_) {
+    p.weight /= total;
+  }
+}
+
+std::size_t ParticleStore::prune_below(double threshold) {
+  std::size_t dropped = 0;
+  for (auto it = particles_.begin(); it != particles_.end();) {
+    if (it->second.weight < threshold) {
+      it = particles_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+tracking::TargetState ParticleStore::estimate(const wsn::Network& network) const {
+  const double total = total_weight();
+  CDPF_CHECK_MSG(total > 0.0, "estimate needs a positive total weight");
+  geom::Vec2 position{};
+  geom::Vec2 velocity{};
+  for (const auto& [host, p] : particles_) {
+    position += network.position(host) * p.weight;
+    velocity += p.velocity * p.weight;
+  }
+  return {position / total, velocity / total};
+}
+
+std::vector<filters::Particle> ParticleStore::to_particles(
+    const wsn::Network& network) const {
+  std::vector<filters::Particle> out;
+  out.reserve(particles_.size());
+  for (const wsn::NodeId host : sorted_hosts()) {
+    const NodeParticle& p = particles_.at(host);
+    out.push_back({{network.position(host), p.velocity}, p.weight});
+  }
+  return out;
+}
+
+std::vector<wsn::NodeId> ParticleStore::sorted_hosts() const {
+  std::vector<wsn::NodeId> hosts;
+  hosts.reserve(particles_.size());
+  for (const auto& [host, p] : particles_) {
+    hosts.push_back(host);
+  }
+  std::sort(hosts.begin(), hosts.end());
+  return hosts;
+}
+
+void MultiParticleStore::add(wsn::NodeId host, HostedParticle particle) {
+  CDPF_CHECK_MSG(particle.weight >= 0.0, "particle weight must be non-negative");
+  hosts_[host].push_back(particle);
+}
+
+std::size_t MultiParticleStore::particle_count() const {
+  std::size_t count = 0;
+  for (const auto& [host, list] : hosts_) {
+    count += list.size();
+  }
+  return count;
+}
+
+double MultiParticleStore::total_weight() const {
+  double total = 0.0;
+  for (const auto& [host, list] : hosts_) {
+    for (const HostedParticle& p : list) {
+      total += p.weight;
+    }
+  }
+  return total;
+}
+
+void MultiParticleStore::normalize(double total) {
+  CDPF_CHECK_MSG(total > 0.0, "cannot normalize with a non-positive total weight");
+  for (auto& [host, list] : hosts_) {
+    for (HostedParticle& p : list) {
+      p.weight /= total;
+    }
+  }
+}
+
+const std::vector<HostedParticle>* MultiParticleStore::find(wsn::NodeId host) const {
+  const auto it = hosts_.find(host);
+  return it == hosts_.end() ? nullptr : &it->second;
+}
+
+std::vector<HostedParticle>* MultiParticleStore::find_mutable(wsn::NodeId host) {
+  const auto it = hosts_.find(host);
+  return it == hosts_.end() ? nullptr : &it->second;
+}
+
+std::size_t MultiParticleStore::prune_hosts_below(double threshold) {
+  std::size_t dropped = 0;
+  for (auto it = hosts_.begin(); it != hosts_.end();) {
+    double mass = 0.0;
+    for (const HostedParticle& p : it->second) {
+      mass += p.weight;
+    }
+    if (mass < threshold) {
+      it = hosts_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+tracking::TargetState MultiParticleStore::estimate() const {
+  const double total = total_weight();
+  CDPF_CHECK_MSG(total > 0.0, "estimate needs a positive total weight");
+  geom::Vec2 position{};
+  geom::Vec2 velocity{};
+  for (const auto& [host, list] : hosts_) {
+    for (const HostedParticle& p : list) {
+      position += p.state.position * p.weight;
+      velocity += p.state.velocity * p.weight;
+    }
+  }
+  return {position / total, velocity / total};
+}
+
+std::vector<filters::Particle> MultiParticleStore::to_particles() const {
+  std::vector<filters::Particle> out;
+  out.reserve(particle_count());
+  for (const wsn::NodeId host : sorted_hosts()) {
+    for (const HostedParticle& p : hosts_.at(host)) {
+      out.push_back({p.state, p.weight});
+    }
+  }
+  return out;
+}
+
+std::vector<wsn::NodeId> MultiParticleStore::sorted_hosts() const {
+  std::vector<wsn::NodeId> hosts;
+  hosts.reserve(hosts_.size());
+  for (const auto& [host, list] : hosts_) {
+    hosts.push_back(host);
+  }
+  std::sort(hosts.begin(), hosts.end());
+  return hosts;
+}
+
+}  // namespace cdpf::core

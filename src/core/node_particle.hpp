@@ -1,0 +1,130 @@
+// "Particles on nodes" — the particle architecture of CDPF (paper §III-A,
+// following Coates & Ing's interpretation of "distributed").
+//
+// A particle is constrained to *locate on a sensor node*: its position is
+// its host node's position, so only the velocity part of the state and the
+// weight are stored per particle. Two stores implement the two maintenance
+// disciplines in the paper:
+//
+//  * ParticleStore — at most ONE particle per node: particles arriving at
+//    the same host are combined (weights summed, velocity weight-averaged).
+//    This is CDPF's discipline and the stated source of most of its
+//    communication savings.
+//  * MultiParticleStore — a LIST of particles per node (positions free,
+//    hosts fixed): SDPF's discipline, where each detecting node seeds a
+//    configurable number of particles (the paper uses eight) and no
+//    combining happens.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "filters/particle.hpp"
+#include "geom/vec2.hpp"
+#include "tracking/state.hpp"
+#include "wsn/network.hpp"
+#include "wsn/node.hpp"
+
+namespace cdpf::core {
+
+/// A combined particle hosted by one node (CDPF).
+struct NodeParticle {
+  wsn::NodeId host = wsn::kInvalidNodeId;
+  geom::Vec2 velocity;  // position is the host node's position
+  double weight = 0.0;
+};
+
+class ParticleStore {
+ public:
+  /// Add (or combine into) the particle hosted by `host`. Combination sums
+  /// the weights and weight-averages the velocities (paper §III-A: multiple
+  /// particles on a single node are combined to one, with the total weight).
+  void add(wsn::NodeId host, geom::Vec2 velocity, double weight);
+
+  /// Number of hosting nodes (== number of particles, N_s for CDPF).
+  std::size_t size() const { return particles_.size(); }
+  bool empty() const { return particles_.empty(); }
+  void clear() { particles_.clear(); }
+
+  double total_weight() const;
+
+  bool contains(wsn::NodeId host) const { return particles_.contains(host); }
+  const NodeParticle* find(wsn::NodeId host) const;
+
+  /// Multiply the weight of `host`'s particle by `factor`.
+  void scale_weight(wsn::NodeId host, double factor);
+
+  /// Raise the weight of `host`'s particle to at least `weight`.
+  void raise_weight_to(wsn::NodeId host, double weight);
+
+  /// Divide every weight by `total` (the overheard aggregate).
+  void normalize(double total);
+
+  /// Remove particles whose weight is below `threshold` (the distributed
+  /// degenerate form of resampling: prune negligible-weight hosts; the
+  /// "multiply" half of resampling is performed by division during
+  /// propagation). Returns the number of dropped particles.
+  std::size_t prune_below(double threshold);
+
+  /// Weighted mean state over the hosted particles (positions taken from
+  /// `network`). Requires a positive total weight.
+  tracking::TargetState estimate(const wsn::Network& network) const;
+
+  /// Materialize as generic weighted particles (positions from `network`).
+  std::vector<filters::Particle> to_particles(const wsn::Network& network) const;
+
+  /// Iteration support (unordered).
+  const std::unordered_map<wsn::NodeId, NodeParticle>& by_host() const {
+    return particles_;
+  }
+
+  /// Host ids sorted ascending — deterministic iteration order for
+  /// reproducible RNG consumption.
+  std::vector<wsn::NodeId> sorted_hosts() const;
+
+ private:
+  std::unordered_map<wsn::NodeId, NodeParticle> particles_;
+};
+
+/// A free-state particle hosted on a node (SDPF).
+struct HostedParticle {
+  tracking::TargetState state;
+  double weight = 0.0;
+};
+
+class MultiParticleStore {
+ public:
+  void add(wsn::NodeId host, HostedParticle particle);
+
+  /// Total number of particles across hosts (N_s for SDPF).
+  std::size_t particle_count() const;
+  /// Number of hosting nodes (N_n).
+  std::size_t host_count() const { return hosts_.size(); }
+  bool empty() const { return hosts_.empty(); }
+  void clear() { hosts_.clear(); }
+
+  double total_weight() const;
+  void normalize(double total);
+
+  bool contains(wsn::NodeId host) const { return hosts_.contains(host); }
+  const std::vector<HostedParticle>* find(wsn::NodeId host) const;
+  std::vector<HostedParticle>* find_mutable(wsn::NodeId host);
+
+  /// Drop hosts whose local mass is below `threshold`.
+  std::size_t prune_hosts_below(double threshold);
+
+  tracking::TargetState estimate() const;
+  std::vector<filters::Particle> to_particles() const;
+
+  const std::unordered_map<wsn::NodeId, std::vector<HostedParticle>>& by_host() const {
+    return hosts_;
+  }
+  std::vector<wsn::NodeId> sorted_hosts() const;
+
+ private:
+  std::unordered_map<wsn::NodeId, std::vector<HostedParticle>> hosts_;
+};
+
+}  // namespace cdpf::core

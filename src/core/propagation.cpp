@@ -1,0 +1,123 @@
+#include "core/propagation.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace cdpf::core {
+
+tracking::TargetState OverheardAggregate::estimate() const {
+  CDPF_CHECK_MSG(total_weight > 0.0, "overheard estimate needs positive total weight");
+  const geom::Vec2 mean_velocity = weighted_velocity / total_weight;
+  const double mean_speed = weighted_speed / total_weight;
+  geom::Vec2 velocity = mean_velocity;
+  if (mean_velocity.norm_squared() > 1e-12) {
+    velocity = mean_velocity.normalized() * mean_speed;
+  }
+  return {weighted_position / total_weight, velocity};
+}
+
+PropagationOutcome propagate_particles(const ParticleStore& store,
+                                       const wsn::Network& network, wsn::Radio& radio,
+                                       const tracking::MotionModel& motion,
+                                       const PropagationConfig& config, rng::Rng& rng) {
+  CDPF_CHECK_MSG(config.record_radius > 0.0, "record radius must be positive");
+  const tracking::LinearProbabilityModel lin_prob(config.record_radius);
+  const std::size_t propagation_payload =
+      radio.payloads().particle + radio.payloads().weight;
+
+  PropagationOutcome outcome;
+  std::vector<wsn::NodeId> receivers;
+  std::vector<wsn::NodeId> recorders;
+  std::vector<double> probabilities;
+
+  // Deterministic host order so rng consumption is reproducible.
+  for (const wsn::NodeId host : store.sorted_hosts()) {
+    const NodeParticle& particle = *store.find(host);
+    if (!network.is_active(host)) {
+      // A host that died or fell asleep between iterations cannot
+      // broadcast; its particle (and weight mass) is lost.
+      ++outcome.lost_particles;
+      continue;
+    }
+    const geom::Vec2 host_position = network.position(host);
+    const geom::Vec2 predicted = host_position + particle.velocity * motion.dt();
+
+    radio.broadcast(host, wsn::MessageKind::kParticle, propagation_payload, receivers);
+    ++outcome.num_broadcasts;
+
+    // Overhearing: every receiver (plus the broadcaster, trivially) learns
+    // this particle's weight and state.
+    auto overhear = [&](wsn::NodeId listener) {
+      OverheardAggregate& agg = outcome.overheard[listener];
+      agg.total_weight += particle.weight;
+      agg.weighted_position += host_position * particle.weight;
+      agg.weighted_velocity += particle.velocity * particle.weight;
+      agg.weighted_speed += particle.velocity.norm() * particle.weight;
+      ++agg.particles_heard;
+    };
+    overhear(host);
+    for (const wsn::NodeId r : receivers) {
+      overhear(r);
+    }
+    outcome.global.total_weight += particle.weight;
+    outcome.global.weighted_position += host_position * particle.weight;
+    outcome.global.weighted_velocity += particle.velocity * particle.weight;
+    outcome.global.weighted_speed += particle.velocity.norm() * particle.weight;
+    ++outcome.global.particles_heard;
+
+    // Recorders: receivers inside the predicted area by the linear model.
+    recorders.clear();
+    probabilities.clear();
+    double probability_sum = 0.0;
+    for (const wsn::NodeId r : receivers) {
+      const double p = lin_prob.probability(network.position(r), predicted);
+      if (p > config.min_record_probability && p > 0.0) {
+        recorders.push_back(r);
+        probabilities.push_back(p);
+        probability_sum += p;
+      }
+    }
+
+    if (recorders.empty()) {
+      if (!config.fallback_to_nearest || receivers.empty()) {
+        ++outcome.lost_particles;
+        continue;
+      }
+      wsn::NodeId nearest = receivers.front();
+      double best = std::numeric_limits<double>::infinity();
+      for (const wsn::NodeId r : receivers) {
+        const double d = geom::distance_squared(network.position(r), predicted);
+        if (d < best) {
+          best = d;
+          nearest = r;
+        }
+      }
+      recorders.push_back(nearest);
+      probabilities.push_back(1.0);
+      probability_sum = 1.0;
+    }
+
+    // Division rule (paper §III-B): total weight preserved; weight ratios
+    // equal the linear-model probability ratios. Each recorded copy draws
+    // its own process-noise realization (prior as importance density).
+    for (std::size_t i = 0; i < recorders.size(); ++i) {
+      const double weight = particle.weight * probabilities[i] / probability_sum;
+      const tracking::TargetState sampled =
+          motion.sample({host_position, particle.velocity}, rng);
+      geom::Vec2 velocity = sampled.velocity;
+      if (config.velocity_from_displacement) {
+        const geom::Vec2 displacement =
+            network.position(recorders[i]) - host_position;
+        if (displacement.norm_squared() > 1e-12) {
+          velocity = displacement.normalized() * sampled.velocity.norm();
+        }
+      }
+      outcome.next.add(recorders[i], velocity, weight);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace cdpf::core

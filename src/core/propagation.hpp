@@ -1,0 +1,96 @@
+// Particle propagation along the target trajectory (paper §III-B) and the
+// overhearing-based aggregation CDPF builds on (§IV).
+//
+// At each iteration every hosting node broadcasts its particle (state +
+// weight in one message, D_p + D_w bytes) toward the predicted target
+// position. Within the broadcast's reception disk:
+//  * nodes inside the *predicted area* (disk of sensing radius around the
+//    broadcaster's predicted target position) with positive linear-
+//    probability record the particle — one particle may be DIVIDED among
+//    several recorders, weights split proportionally to their probabilities
+//    (rule 1: total preserved, rule 2: ratios follow the linear model);
+//  * particles arriving at the same recorder from different broadcasters
+//    are COMBINED by the ParticleStore;
+//  * every receiver additionally OVERHEARS the broadcast, so after the round
+//    each participating node knows the total weight (and the weighted
+//    position sum) of the previous iteration's particle set — the aggregate
+//    CDPF's correction step needs, obtained with zero extra messages.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+
+#include "core/node_particle.hpp"
+#include "geom/vec2.hpp"
+#include "random/rng.hpp"
+#include "tracking/detection.hpp"
+#include "tracking/motion_model.hpp"
+#include "wsn/network.hpp"
+#include "wsn/radio.hpp"
+
+namespace cdpf::core {
+
+struct PropagationConfig {
+  /// Radius of the predicted area (paper: the sensing radius).
+  double record_radius = 10.0;
+  /// Minimum linear-model probability for a neighbor to record a particle
+  /// (0 = every node strictly inside the predicted area records).
+  double min_record_probability = 0.0;
+  /// When no receiver lies inside the predicted area, hand the whole
+  /// particle to the receiver nearest to the predicted position instead of
+  /// losing it (keeps the filter alive in sparse deployments; disabled in
+  /// the fidelity tests that exercise the paper's plain rule).
+  bool fallback_to_nearest = true;
+  /// Derive each recorded particle's heading from its actual hop
+  /// displacement (recorder position - broadcaster position) instead of
+  /// keeping the independently sampled heading. With particles snapped to
+  /// node positions this is what keeps position and velocity consistent
+  /// within a particle: recorders on the true trajectory carry headings
+  /// that point along it, so the weight update exerts selection pressure
+  /// on velocity, not just position. Speed still comes from the motion
+  /// model's noisy sample.
+  bool velocity_from_displacement = true;
+};
+
+/// What one node learns by overhearing a propagation round.
+struct OverheardAggregate {
+  double total_weight = 0.0;       // sum of broadcast particle weights heard
+  geom::Vec2 weighted_position;    // sum of w_i * position(host_i)
+  geom::Vec2 weighted_velocity;    // sum of w_i * velocity_i
+  double weighted_speed = 0.0;     // sum of w_i * |velocity_i|
+  std::size_t particles_heard = 0;
+
+  /// Estimate of the previous-iteration target state from the overheard
+  /// particles (the correction step's estimate). The velocity estimate is
+  /// the mean DIRECTION rescaled to the mean SPEED: averaging velocity
+  /// vectors with angular spread shrinks the magnitude by E[cos(theta)],
+  /// which would make every prediction lag the target. Requires
+  /// total_weight > 0.
+  tracking::TargetState estimate() const;
+};
+
+struct PropagationOutcome {
+  /// Particles recorded at their new hosts (divided + combined).
+  ParticleStore next;
+  /// What each node that heard at least one broadcast overheard. Includes
+  /// recorders and mere bystanders; broadcasters hear their own particle.
+  std::unordered_map<wsn::NodeId, OverheardAggregate> overheard;
+  /// Ground-truth aggregate over all broadcasts (what a node that heard
+  /// everything would hold); used for evaluation and for verifying the
+  /// overhearing-completeness claim.
+  OverheardAggregate global;
+  std::size_t num_broadcasts = 0;
+  /// Particles that found no recorder (only possible with the fallback off).
+  std::size_t lost_particles = 0;
+};
+
+/// Run one propagation round for `store` over `network`, charging the
+/// broadcasts to `radio`. `motion` supplies dt (the filter iteration step)
+/// and the process noise applied to recorded velocities; `rng` drives the
+/// noise. The input store is left untouched.
+PropagationOutcome propagate_particles(const ParticleStore& store,
+                                       const wsn::Network& network, wsn::Radio& radio,
+                                       const tracking::MotionModel& motion,
+                                       const PropagationConfig& config, rng::Rng& rng);
+
+}  // namespace cdpf::core

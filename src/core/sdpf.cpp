@@ -1,0 +1,254 @@
+#include "core/sdpf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+#include "support/log.hpp"
+
+namespace cdpf::core {
+
+namespace {
+// Clamp for log-domain weight factors: keeps exp() finite even when a
+// sensor lies almost on top of the target and its bearing residual makes
+// the log-likelihood difference astronomically large in either direction.
+constexpr double kMaxLogWeightFactor = 600.0;
+
+/// Position-quantization length used for likelihood inflation: explicit
+/// config value, or half the mean node spacing of the deployment.
+double quantization_length(double configured, const wsn::Network& network) {
+  if (configured >= 0.0) {
+    return configured;
+  }
+  const double density_per_m2 =
+      static_cast<double>(network.size()) / network.config().field.area();
+  return density_per_m2 > 0.0 ? 0.5 / std::sqrt(density_per_m2) : 0.0;
+}
+}  // namespace
+
+Sdpf::Sdpf(wsn::Network& network, wsn::Radio& radio, SdpfConfig config)
+    : network_(network),
+      radio_(radio),
+      config_(config),
+      motion_(tracking::make_motion_model(config.motion, config.dt)),
+      bearing_(config.sigma_bearing) {
+  CDPF_CHECK_MSG(config_.particles_per_detection > 0,
+                 "SDPF needs at least one particle per detection");
+  CDPF_CHECK_MSG(config_.initial_weight > 0.0, "initial weight must be positive");
+}
+
+void Sdpf::seed_detecting_nodes(const tracking::TargetState& truth, rng::Rng& rng) {
+  // Every node currently detecting the target maintains
+  // `particles_per_detection` particles (the paper's "eight particles on
+  // each node that detects the target"). Fresh particles take the current
+  // mean weight so they join the population without swamping it.
+  const std::size_t count = store_.particle_count();
+  const double fresh_weight =
+      count > 0 ? store_.total_weight() / static_cast<double>(count)
+                : config_.initial_weight;
+  for (const wsn::NodeId id : network_.detecting_nodes(truth.position)) {
+    const std::vector<HostedParticle>* existing = store_.find(id);
+    const std::size_t have = existing ? existing->size() : 0;
+    if (have >= config_.particles_per_detection) {
+      continue;
+    }
+    // "Motes as particles": the particle position IS the host node's
+    // position; only velocity hypotheses differ across a node's particles.
+    const geom::Vec2 node_pos = network_.position(id);
+    for (std::size_t i = have; i < config_.particles_per_detection; ++i) {
+      HostedParticle p;
+      p.state.position = node_pos;
+      p.state.velocity = {
+          rng.gaussian(config_.initial_velocity_mean.x, config_.initial_velocity_sigma),
+          rng.gaussian(config_.initial_velocity_mean.y, config_.initial_velocity_sigma)};
+      p.weight = fresh_weight;
+      store_.add(id, p);
+    }
+  }
+}
+
+void Sdpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rng) {
+  if (store_.empty()) {
+    seed_detecting_nodes(truth, rng);
+    if (store_.empty()) {
+      return;
+    }
+  } else {
+    // -- 1. Propagation: each host broadcasts its particles (one message
+    //    per particle: D_p + D_w) and every particle re-hosts on the
+    //    receiver nearest its propagated state. -----------------------
+    MultiParticleStore next;
+    std::vector<wsn::NodeId> receivers;
+    const std::size_t payload = radio_.payloads().particle + radio_.payloads().weight;
+    for (const wsn::NodeId host : store_.sorted_hosts()) {
+      if (!network_.is_active(host)) {
+        continue;  // dead/sleeping host: its particles are lost
+      }
+      const std::vector<HostedParticle>& list = *store_.find(host);
+      radio_.broadcast(host, wsn::MessageKind::kParticle,
+                       payload * list.size(), receivers);
+      for (const HostedParticle& particle : list) {
+        HostedParticle moved{motion_->sample(particle.state, rng), particle.weight};
+        // Re-host on the receiver nearest the particle's propagated state;
+        // the host keeps it if it is still the nearest candidate. The
+        // particle position snaps to its new host ("motes as particles"),
+        // and its heading follows the actual hop displacement so position
+        // and velocity stay consistent (see PropagationConfig).
+        wsn::NodeId best = host;
+        double best_d =
+            geom::distance_squared(network_.position(host), moved.state.position);
+        for (const wsn::NodeId r : receivers) {
+          const double d =
+              geom::distance_squared(network_.position(r), moved.state.position);
+          if (d < best_d) {
+            best_d = d;
+            best = r;
+          }
+        }
+        const geom::Vec2 new_pos = network_.position(best);
+        const geom::Vec2 displacement = new_pos - network_.position(host);
+        if (displacement.norm_squared() > 1e-12) {
+          moved.state.velocity =
+              displacement.normalized() * moved.state.velocity.norm();
+        }
+        moved.state.position = new_pos;
+        next.add(best, moved);
+      }
+    }
+    store_ = std::move(next);
+    // Drop hosts whose (normalized) mass became negligible at the previous
+    // weight update — the pruning happens AFTER they were propagated once,
+    // so the paper's per-iteration propagation cost structure (every
+    // detecting node's particles are broadcast) is preserved.
+    store_.prune_hosts_below(config_.prune_threshold);
+    if (store_.empty()) {
+      seed_detecting_nodes(truth, rng);
+      if (store_.empty()) {
+        return;
+      }
+    }
+  }
+
+  // Newly detecting nodes without particles seed fresh ones.
+  seed_detecting_nodes(truth, rng);
+
+  // -- 2. Measurement sharing: detecting nodes broadcast bearings. --------
+  struct Shared {
+    geom::Vec2 sensor;
+    double bearing;
+  };
+  std::vector<Shared> shared;
+  for (const wsn::NodeId id : network_.detecting_nodes(truth.position)) {
+    const double z = bearing_.measure(network_.position(id), truth.position, rng);
+    radio_.broadcast(id, wsn::MessageKind::kMeasurement, radio_.payloads().measurement);
+    shared.push_back({network_.position(id), z});
+  }
+
+  // -- 3. Weight update: likelihood of the measurements each host hears,
+  //    evaluated relative to a common reference point (the centroid of the
+  //    measurement senders) so the product over many sensors stays inside
+  //    double range; the shared constant cancels at normalization. --------
+  const double comm_radius = network_.config().comm_radius;
+  if (!shared.empty()) {
+    const double delta =
+        quantization_length(config_.position_quantization_m, network_);
+    auto effective_sigma = [&](geom::Vec2 sensor, geom::Vec2 p) {
+      const double d = std::max(geom::distance(sensor, p), delta > 0.0 ? delta : 1e-3);
+      return std::hypot(bearing_.sigma(), delta / d);
+    };
+    geom::Vec2 reference{};
+    for (const Shared& s : shared) {
+      reference += s.sensor;
+    }
+    reference = reference / static_cast<double>(shared.size());
+    double reference_log_likelihood = 0.0;
+    for (const Shared& s : shared) {
+      reference_log_likelihood += bearing_.log_likelihood_inflated(
+          s.bearing, s.sensor, reference, effective_sigma(s.sensor, reference));
+    }
+    for (const wsn::NodeId host : store_.sorted_hosts()) {
+      const geom::Vec2 host_pos = network_.position(host);
+      std::vector<HostedParticle>& list = *store_.find_mutable(host);
+      for (HostedParticle& p : list) {
+        double log_likelihood = 0.0;
+        bool heard_any = false;
+        for (const Shared& s : shared) {
+          if (geom::distance(s.sensor, host_pos) <= comm_radius) {
+            log_likelihood += bearing_.log_likelihood_inflated(
+                s.bearing, s.sensor, p.state.position,
+                effective_sigma(s.sensor, p.state.position));
+            heard_any = true;
+          }
+        }
+        if (heard_any) {
+          p.weight *= std::exp(std::clamp(log_likelihood - reference_log_likelihood,
+                                          -kMaxLogWeightFactor, kMaxLogWeightFactor));
+        } else {
+          // Out of earshot of every detecting sensor while the target is
+          // detected: negligible likelihood (see the CDPF note).
+          p.weight *= std::exp(-kMaxLogWeightFactor);
+        }
+      }
+    }
+  }
+
+  // -- 4. Weight aggregation via the global transceiver. ------------------
+  // Three-way handshake: the transceiver queries, every hosting node
+  // answers with its local weights (one message of N_i * D_w bytes), and
+  // the transceiver broadcasts the total ("+2" in the paper's accounting).
+  radio_.transceiver_broadcast(wsn::MessageKind::kControl, radio_.payloads().control);
+  double total = 0.0;
+  for (const wsn::NodeId host : store_.sorted_hosts()) {
+    const std::vector<HostedParticle>& list = *store_.find(host);
+    double local = 0.0;
+    for (const HostedParticle& p : list) {
+      local += p.weight;
+    }
+    total += local;
+    radio_.send_to_transceiver(host, wsn::MessageKind::kWeight,
+                               radio_.payloads().weight * list.size());
+  }
+  radio_.transceiver_broadcast(wsn::MessageKind::kAggregate, radio_.payloads().weight);
+
+  if (total <= 0.0) {
+    CDPF_LOG_DEBUG("SDPF: total weight vanished at t=" << time << ", reseeding");
+    store_.clear();
+    return;
+  }
+
+  // -- 5. Correction: normalize, estimate, local resampling. --------------
+  store_.normalize(total);
+  pending_estimates_.push_back({store_.estimate(), time});
+
+  // Local resampling: each host resamples its own list back to its size,
+  // preserving the local mass (a standard local approximation when the
+  // global total, but not the particle states, is shared).
+  for (const wsn::NodeId host : store_.sorted_hosts()) {
+    std::vector<HostedParticle>& list = *store_.find_mutable(host);
+    double local = 0.0;
+    for (const HostedParticle& p : list) {
+      local += p.weight;
+    }
+    if (local <= 0.0 || list.size() <= 1) {
+      continue;
+    }
+    std::vector<filters::Particle> generic;
+    generic.reserve(list.size());
+    for (const HostedParticle& p : list) {
+      generic.push_back({p.state, p.weight});
+    }
+    filters::resample_particles(generic, generic.size(), config_.resampling, rng);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      list[i] = {generic[i].state, generic[i].weight};
+    }
+  }
+}
+
+std::vector<TimedEstimate> Sdpf::take_estimates() {
+  std::vector<TimedEstimate> out = std::move(pending_estimates_);
+  pending_estimates_.clear();
+  return out;
+}
+
+}  // namespace cdpf::core

@@ -1,0 +1,56 @@
+// Common interface of the four tracking algorithms (CPF, DPF, SDPF, CDPF /
+// CDPF-NE) so the simulation engine and the benches can drive them
+// uniformly.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "random/rng.hpp"
+#include "tracking/state.hpp"
+#include "wsn/comm_stats.hpp"
+
+namespace cdpf::core {
+
+/// An estimate together with the absolute time it refers to. CDPF's
+/// correction step produces the estimate for the *previous* iteration, so
+/// the reference time can lag the iteration time.
+struct TimedEstimate {
+  tracking::TargetState state;
+  double time = 0.0;
+};
+
+class TrackerAlgorithm {
+ public:
+  virtual ~TrackerAlgorithm() = default;
+
+  TrackerAlgorithm() = default;
+  TrackerAlgorithm(const TrackerAlgorithm&) = delete;
+  TrackerAlgorithm& operator=(const TrackerAlgorithm&) = delete;
+
+  virtual std::string_view name() const = 0;
+
+  /// Filter iteration period in seconds (the engine calls iterate() at
+  /// multiples of it).
+  virtual double time_step() const = 0;
+
+  /// Run one filter iteration at absolute time `time`. `truth` is the
+  /// ground-truth target state at that time, used ONLY to decide which
+  /// nodes detect the target and to synthesize their noisy measurements —
+  /// the algorithms never read it directly.
+  virtual void iterate(const tracking::TargetState& truth, double time,
+                       rng::Rng& rng) = 0;
+
+  /// Estimates produced since the last call (possibly empty, possibly
+  /// referring to an earlier time than the last iterate()).
+  virtual std::vector<TimedEstimate> take_estimates() = 0;
+
+  /// Flush any estimate that only becomes available after the last
+  /// iteration (CDPF's lagged correction); called once at the end of a run.
+  virtual void finalize() {}
+
+  /// Communication accounting accumulated so far.
+  virtual const wsn::CommStats& comm_stats() const = 0;
+};
+
+}  // namespace cdpf::core

@@ -1,0 +1,98 @@
+#include "filters/auxiliary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+
+AuxiliaryParticleFilter::AuxiliaryParticleFilter(
+    std::unique_ptr<const tracking::MotionModel> model, AuxiliaryFilterConfig config)
+    : model_(std::move(model)), config_(config) {
+  CDPF_CHECK_MSG(model_ != nullptr, "APF needs a motion model");
+  CDPF_CHECK_MSG(config_.num_particles > 0, "APF needs at least one particle");
+}
+
+void AuxiliaryParticleFilter::initialize(const tracking::TargetState& mean,
+                                         geom::Vec2 position_sigma,
+                                         geom::Vec2 velocity_sigma, rng::Rng& rng) {
+  particles_.clear();
+  particles_.reserve(config_.num_particles);
+  const double w = 1.0 / static_cast<double>(config_.num_particles);
+  for (std::size_t i = 0; i < config_.num_particles; ++i) {
+    tracking::TargetState s;
+    s.position = {rng.gaussian(mean.position.x, position_sigma.x),
+                  rng.gaussian(mean.position.y, position_sigma.y)};
+    s.velocity = {rng.gaussian(mean.velocity.x, velocity_sigma.x),
+                  rng.gaussian(mean.velocity.y, velocity_sigma.y)};
+    particles_.push_back({s, w});
+  }
+}
+
+void AuxiliaryParticleFilter::predict_only(rng::Rng& rng) {
+  CDPF_CHECK_MSG(initialized(), "predict_only() before initialize()");
+  for (Particle& p : particles_) {
+    p.state = model_->sample(p.state, rng);
+  }
+}
+
+void AuxiliaryParticleFilter::step(const LogLikelihood& log_likelihood,
+                                   rng::Rng& rng) {
+  CDPF_CHECK_MSG(initialized(), "step() before initialize()");
+  const std::size_t n = particles_.size();
+
+  // First stage: auxiliary weights from the deterministic look-ahead.
+  std::vector<tracking::TargetState> mu(n);
+  std::vector<double> mu_ll(n);
+  std::vector<double> aux(n);
+  double max_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    mu[i] = model_->propagate(particles_[i].state);
+    mu_ll[i] = log_likelihood(mu[i]);
+    max_ll = std::max(max_ll, mu_ll[i]);
+  }
+  if (!std::isfinite(max_ll)) {
+    // No particle's look-ahead explains the measurement: fall back to a
+    // plain SIR step so the filter can re-acquire.
+    predict_only(rng);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    aux[i] = particles_[i].weight * std::exp(mu_ll[i] - max_ll);
+  }
+
+  // Ancestor resampling on the auxiliary weights.
+  const auto ancestors = resample_indices(aux, n, config_.scheme, rng);
+
+  // Second stage: propagate the chosen ancestors and correct the weights.
+  std::vector<Particle> next;
+  next.reserve(n);
+  double total = 0.0;
+  for (const std::size_t a : ancestors) {
+    Particle p;
+    p.state = model_->sample(particles_[a].state, rng);
+    const double ll = log_likelihood(p.state);
+    p.weight = std::isfinite(ll) ? std::exp(std::clamp(ll - mu_ll[a], -600.0, 600.0))
+                                 : 0.0;
+    total += p.weight;
+    next.push_back(p);
+  }
+  particles_ = std::move(next);
+  if (total > 0.0) {
+    normalize_weights(particles_, total);
+  } else {
+    const double w = 1.0 / static_cast<double>(n);
+    for (Particle& p : particles_) {
+      p.weight = w;
+    }
+  }
+}
+
+tracking::TargetState AuxiliaryParticleFilter::estimate() const {
+  CDPF_CHECK_MSG(initialized(), "estimate() before initialize()");
+  return weighted_mean_state(particles_);
+}
+
+}  // namespace cdpf::filters

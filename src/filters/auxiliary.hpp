@@ -1,0 +1,56 @@
+// Auxiliary particle filter (Pitt & Shephard 1999).
+//
+// The second "derivative PF branch" (with the regularized PF) that the
+// paper's future work points at: before propagating, the APF pre-weights
+// each particle by the likelihood of its *predicted* (noise-free) position,
+// resamples those auxiliary weights, and only then propagates — steering
+// the particle budget toward ancestors that will match the measurement.
+// Pays off when the likelihood is sharp relative to the process noise,
+// which is exactly the bearings-only WSN regime.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "filters/particle.hpp"
+#include "filters/resampling.hpp"
+#include "random/rng.hpp"
+#include "tracking/motion_model.hpp"
+
+namespace cdpf::filters {
+
+struct AuxiliaryFilterConfig {
+  std::size_t num_particles = 1000;
+  ResamplingScheme scheme = ResamplingScheme::kSystematic;
+};
+
+class AuxiliaryParticleFilter {
+ public:
+  AuxiliaryParticleFilter(std::unique_ptr<const tracking::MotionModel> model,
+                          AuxiliaryFilterConfig config);
+
+  using LogLikelihood = std::function<double(const tracking::TargetState&)>;
+
+  void initialize(const tracking::TargetState& mean, geom::Vec2 position_sigma,
+                  geom::Vec2 velocity_sigma, rng::Rng& rng);
+  bool initialized() const { return !particles_.empty(); }
+
+  /// One full APF iteration: auxiliary weighting on the predicted means,
+  /// ancestor resampling, propagation, and second-stage correction
+  /// weights w = lik(x_new) / lik(mu_ancestor).
+  void step(const LogLikelihood& log_likelihood, rng::Rng& rng);
+
+  /// Prediction-only step when no measurement is available.
+  void predict_only(rng::Rng& rng);
+
+  tracking::TargetState estimate() const;
+  const std::vector<Particle>& particles() const { return particles_; }
+
+ private:
+  std::unique_ptr<const tracking::MotionModel> model_;
+  AuxiliaryFilterConfig config_;
+  std::vector<Particle> particles_;
+};
+
+}  // namespace cdpf::filters

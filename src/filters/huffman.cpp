@@ -1,0 +1,156 @@
+#include "filters/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+
+namespace {
+
+/// Build per-symbol code lengths with the classic two-queue Huffman
+/// construction over a min-heap of (frequency, node).
+std::vector<std::uint8_t> huffman_lengths(std::span<const double> frequencies) {
+  const std::size_t n = frequencies.size();
+  if (n == 1) {
+    return {1};  // a single symbol still needs one bit on the wire
+  }
+  struct Node {
+    double freq;
+    int left = -1;   // indices into the node pool; -1 => leaf
+    int right = -1;
+    std::size_t symbol = 0;
+  };
+  std::vector<Node> pool;
+  pool.reserve(2 * n);
+  using HeapEntry = std::pair<double, int>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  // Tiny epsilon keeps zero-frequency symbols encodable without distorting
+  // the tree for the others.
+  for (std::size_t s = 0; s < n; ++s) {
+    pool.push_back({frequencies[s] + 1e-12, -1, -1, s});
+    heap.emplace(pool.back().freq, static_cast<int>(pool.size() - 1));
+  }
+  while (heap.size() > 1) {
+    const auto [fa, a] = heap.top();
+    heap.pop();
+    const auto [fb, b] = heap.top();
+    heap.pop();
+    pool.push_back({fa + fb, a, b, 0});
+    heap.emplace(fa + fb, static_cast<int>(pool.size() - 1));
+  }
+  std::vector<std::uint8_t> lengths(n, 0);
+  // Iterative depth-first traversal from the root.
+  std::vector<std::pair<int, std::uint8_t>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = pool[static_cast<std::size_t>(index)];
+    if (node.left < 0) {
+      lengths[node.symbol] = std::max<std::uint8_t>(depth, 1);
+    } else {
+      stack.push_back({node.left, static_cast<std::uint8_t>(depth + 1)});
+      stack.push_back({node.right, static_cast<std::uint8_t>(depth + 1)});
+    }
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanCode HuffmanCode::from_frequencies(std::span<const double> frequencies) {
+  CDPF_CHECK_MSG(!frequencies.empty(), "Huffman code needs at least one symbol");
+  for (const double f : frequencies) {
+    CDPF_CHECK_MSG(f >= 0.0, "frequencies must be non-negative");
+  }
+  HuffmanCode code;
+  code.lengths_ = huffman_lengths(frequencies);
+  code.max_length_ =
+      *std::max_element(code.lengths_.begin(), code.lengths_.end());
+
+  // Canonicalize: sort symbols by (length, symbol) and assign increasing
+  // codewords.
+  const std::size_t n = code.lengths_.size();
+  code.symbols_by_code_.resize(n);
+  std::iota(code.symbols_by_code_.begin(), code.symbols_by_code_.end(), 0u);
+  std::sort(code.symbols_by_code_.begin(), code.symbols_by_code_.end(),
+            [&](std::size_t a, std::size_t b) {
+              return std::pair(code.lengths_[a], a) < std::pair(code.lengths_[b], b);
+            });
+
+  code.codes_.resize(n);
+  code.first_code_per_length_.assign(code.max_length_ + 1, 0);
+  code.first_index_per_length_.assign(code.max_length_ + 1, 0);
+  code.count_per_length_.assign(code.max_length_ + 1, 0);
+  for (const std::uint8_t l : code.lengths_) {
+    ++code.count_per_length_[l];
+  }
+  std::uint64_t next = 0;
+  std::size_t previous_length = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const std::size_t symbol = code.symbols_by_code_[rank];
+    const std::size_t length = code.lengths_[symbol];
+    next <<= (length - previous_length);
+    if (length != previous_length) {
+      code.first_code_per_length_[length] = next;
+      code.first_index_per_length_[length] = rank;
+      previous_length = length;
+    }
+    code.codes_[symbol] = next++;
+  }
+  return code;
+}
+
+std::size_t HuffmanCode::code_length(std::size_t symbol) const {
+  CDPF_CHECK_MSG(symbol < lengths_.size(), "symbol out of range");
+  return lengths_[symbol];
+}
+
+double HuffmanCode::expected_length(std::span<const double> probabilities) const {
+  CDPF_CHECK_MSG(probabilities.size() == lengths_.size(),
+                 "distribution size must match the alphabet");
+  double bits = 0.0;
+  for (std::size_t s = 0; s < lengths_.size(); ++s) {
+    bits += probabilities[s] * static_cast<double>(lengths_[s]);
+  }
+  return bits;
+}
+
+void HuffmanCode::encode(std::size_t symbol, support::BitWriter& out) const {
+  CDPF_CHECK_MSG(symbol < lengths_.size(), "symbol out of range");
+  out.write(codes_[symbol], lengths_[symbol]);
+}
+
+std::size_t HuffmanCode::decode(support::BitReader& in) const {
+  // Canonical decoding: extend the code bit by bit; at each length the
+  // valid codewords occupy the contiguous range [first_code, first_code +
+  // count), so membership is two comparisons.
+  std::uint64_t code = 0;
+  for (std::size_t length = 1; length <= max_length_; ++length) {
+    code = (code << 1) | (in.read_bit() ? 1ULL : 0ULL);
+    if (count_per_length_[length] == 0) {
+      continue;
+    }
+    const std::uint64_t first = first_code_per_length_[length];
+    if (code >= first && code < first + count_per_length_[length]) {
+      return symbols_by_code_[first_index_per_length_[length] +
+                              static_cast<std::size_t>(code - first)];
+    }
+  }
+  throw Error("corrupt Huffman stream: no codeword matched");
+}
+
+double entropy_bits(std::span<const double> probabilities) {
+  double h = 0.0;
+  for (const double p : probabilities) {
+    if (p > 0.0) {
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+}  // namespace cdpf::filters

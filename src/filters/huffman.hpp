@@ -1,0 +1,57 @@
+// Huffman coding of quantized measurements.
+//
+// Ing & Coates ("Parallel particle filters for tracking in wireless sensor
+// networks", SPAWC 2005 — the paper's reference [12]) improve the quantized
+// DPF by entropy-coding the measurement symbols with a Huffman tree built
+// from their (predicted) distribution: innovations concentrate near zero,
+// so frequent symbols get short codewords and the average payload drops
+// well below the fixed ceil(log2(L)) bits of plain quantization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/bitstream.hpp"
+
+namespace cdpf::filters {
+
+/// Canonical Huffman code over symbols 0..n-1.
+class HuffmanCode {
+ public:
+  /// Build from (unnormalized) symbol frequencies; zero-frequency symbols
+  /// still receive a (long) codeword so every symbol stays encodable.
+  /// Requires at least one symbol.
+  static HuffmanCode from_frequencies(std::span<const double> frequencies);
+
+  std::size_t alphabet_size() const { return lengths_.size(); }
+
+  /// Codeword length in bits for `symbol`.
+  std::size_t code_length(std::size_t symbol) const;
+
+  /// Average codeword length under the given distribution (bits/symbol).
+  double expected_length(std::span<const double> probabilities) const;
+
+  void encode(std::size_t symbol, support::BitWriter& out) const;
+  std::size_t decode(support::BitReader& in) const;
+
+ private:
+  HuffmanCode() = default;
+
+  // Canonical form: lengths per symbol + first-code table per length.
+  std::vector<std::uint8_t> lengths_;
+  std::vector<std::uint64_t> codes_;  // canonical codeword per symbol
+  // Decoding tables indexed by code length.
+  std::vector<std::uint64_t> first_code_per_length_;
+  std::vector<std::size_t> first_index_per_length_;
+  std::vector<std::size_t> count_per_length_;
+  std::vector<std::size_t> symbols_by_code_;  // symbols sorted by (len, code)
+  std::size_t max_length_ = 0;
+};
+
+/// Entropy of a distribution in bits (for tests: Huffman's expected length
+/// is within 1 bit of it).
+double entropy_bits(std::span<const double> probabilities);
+
+}  // namespace cdpf::filters

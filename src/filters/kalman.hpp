@@ -1,0 +1,63 @@
+// Linear Kalman filter.
+//
+// For linear-Gaussian dynamic systems the KF is the optimal Bayesian
+// estimator (the paper's related work, Sec. VII); the test suite uses it as
+// the ground truth every particle filter must approach on linear problems,
+// and the examples use it as a classic baseline.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+
+/// N: state dimension, M: measurement dimension.
+template <std::size_t N, std::size_t M>
+class KalmanFilter {
+ public:
+  using StateVec = linalg::Vec<N>;
+  using StateMat = linalg::Mat<N, N>;
+  using MeasVec = linalg::Vec<M>;
+  using MeasMat = linalg::Mat<M, M>;
+  using ObsMat = linalg::Mat<M, N>;
+
+  KalmanFilter(StateVec initial_state, StateMat initial_covariance)
+      : x_(initial_state), p_(initial_covariance) {}
+
+  const StateVec& state() const { return x_; }
+  const StateMat& covariance() const { return p_; }
+
+  /// Time update: x <- F x, P <- F P F^T + Q.
+  void predict(const StateMat& f, const StateMat& q) {
+    x_ = f * x_;
+    p_ = linalg::symmetrized(f * p_ * f.transposed() + q);
+  }
+
+  /// Measurement update with z = H x + noise, noise covariance R.
+  /// Returns the innovation (z - H x_prior).
+  MeasVec update(const MeasVec& z, const ObsMat& h, const MeasMat& r) {
+    const MeasVec innovation = z - h * x_;
+    update_with_innovation(innovation, h, r);
+    return innovation;
+  }
+
+  /// Update from a precomputed innovation — needed for angular measurements
+  /// whose residual must be wrapped before the linear correction (EKF).
+  void update_with_innovation(const MeasVec& innovation, const ObsMat& h,
+                              const MeasMat& r) {
+    const MeasMat s = h * p_ * h.transposed() + r;
+    const linalg::Mat<N, M> k = p_ * h.transposed() * linalg::inverse(s);
+    x_ = x_ + k * innovation;
+    // Joseph-form covariance update: numerically symmetric and positive
+    // semi-definite even with rounding.
+    const StateMat ikh = StateMat::identity() - k * h;
+    p_ = linalg::symmetrized(ikh * p_ * ikh.transposed() +
+                             k * r * k.transposed());
+  }
+
+ private:
+  StateVec x_;
+  StateMat p_;
+};
+
+}  // namespace cdpf::filters

@@ -1,0 +1,49 @@
+#include "filters/kld_sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+
+std::size_t kld_sample_size(std::size_t occupied_bins, const KldConfig& config) {
+  CDPF_CHECK_MSG(config.epsilon > 0.0, "KLD epsilon must be positive");
+  CDPF_CHECK_MSG(config.min_particles > 0, "min_particles must be positive");
+  if (occupied_bins <= 1) {
+    return config.min_particles;
+  }
+  const double k = static_cast<double>(occupied_bins);
+  const double a = 2.0 / (9.0 * (k - 1.0));
+  const double base = 1.0 - a + std::sqrt(a) * config.z_one_minus_delta;
+  const double n = (k - 1.0) / (2.0 * config.epsilon) * base * base * base;
+  const auto count = static_cast<std::size_t>(std::ceil(n));
+  return std::clamp(count, config.min_particles, config.max_particles);
+}
+
+std::size_t count_occupied_bins(std::span<const Particle> particles,
+                                const KldConfig& config) {
+  CDPF_CHECK_MSG(config.bin_size_m > 0.0, "KLD bin size must be positive");
+  std::unordered_set<std::uint64_t> bins;
+  bins.reserve(particles.size());
+  for (const Particle& p : particles) {
+    const auto bx = static_cast<std::int32_t>(
+        std::floor(p.state.position.x / config.bin_size_m));
+    const auto by = static_cast<std::int32_t>(
+        std::floor(p.state.position.y / config.bin_size_m));
+    const std::uint64_t key = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(bx))
+                               << 32) |
+                              static_cast<std::uint32_t>(by);
+    bins.insert(key);
+  }
+  return bins.size();
+}
+
+std::size_t kld_adaptive_count(std::span<const Particle> particles,
+                               const KldConfig& config) {
+  return kld_sample_size(count_occupied_bins(particles, config), config);
+}
+
+}  // namespace cdpf::filters

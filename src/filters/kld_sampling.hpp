@@ -1,0 +1,38 @@
+// KLD-sampling (Fox, IJRR 2003): choose the number of particles so that,
+// with probability 1 - delta, the KL divergence between the sample-based
+// approximation and the true posterior stays below epsilon. Listed in the
+// paper's related work as the standard adaptive-sample-size technique; the
+// ablation benches use it to show CDPF's per-node particle counts are
+// already in the adaptive regime.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "filters/particle.hpp"
+
+namespace cdpf::filters {
+
+struct KldConfig {
+  double epsilon = 0.05;        // KL error bound
+  double z_one_minus_delta = 2.326347874;  // upper 1-delta quantile, delta = 0.01
+  double bin_size_m = 2.0;      // spatial bin edge for support estimation
+  std::size_t min_particles = 20;
+  std::size_t max_particles = 100000;
+};
+
+/// Fox's sample-size bound for `k` occupied histogram bins:
+///   n = (k-1)/(2 eps) * (1 - 2/(9(k-1)) + sqrt(2/(9(k-1))) z)^3.
+/// Returns min_particles when k <= 1.
+std::size_t kld_sample_size(std::size_t occupied_bins, const KldConfig& config);
+
+/// Count the occupied position bins of a particle set on a uniform grid of
+/// config.bin_size_m.
+std::size_t count_occupied_bins(std::span<const Particle> particles,
+                                const KldConfig& config);
+
+/// Convenience: the KLD-adaptive particle count for the given set.
+std::size_t kld_adaptive_count(std::span<const Particle> particles,
+                               const KldConfig& config);
+
+}  // namespace cdpf::filters

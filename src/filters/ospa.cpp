@@ -1,0 +1,79 @@
+#include "filters/ospa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+
+double ospa_distance(std::span<const geom::Vec2> estimates,
+                     std::span<const geom::Vec2> truths, const OspaConfig& config) {
+  CDPF_CHECK_MSG(config.cutoff > 0.0, "OSPA cutoff must be positive");
+  CDPF_CHECK_MSG(config.order >= 1.0, "OSPA order must be >= 1");
+  if (estimates.empty() && truths.empty()) {
+    return 0.0;
+  }
+  if (estimates.empty() || truths.empty()) {
+    return config.cutoff;
+  }
+
+  // Convention: X is the smaller set (m), Y the larger (n).
+  std::span<const geom::Vec2> x = estimates;
+  std::span<const geom::Vec2> y = truths;
+  if (x.size() > y.size()) {
+    std::swap(x, y);
+  }
+  const std::size_t m = x.size();
+  const std::size_t n = y.size();
+  CDPF_CHECK_MSG(m <= config.max_cardinality,
+                 "OSPA via exhaustive assignment is limited to small sets");
+
+  // Pairwise cutoff distances to the power p.
+  std::vector<double> cost(m * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cost[i * n + j] =
+          std::pow(std::min(geom::distance(x[i], y[j]), config.cutoff), config.order);
+    }
+  }
+
+  // Optimal assignment of the m points of X to distinct points of Y: try
+  // every ordered m-subset of Y by permuting a selector. m <= 8 keeps this
+  // trivially fast for tracking workloads.
+  std::vector<std::size_t> selector(n);
+  std::iota(selector.begin(), selector.end(), 0);
+  double best = std::numeric_limits<double>::infinity();
+  // Permute only the first m slots: sort-based next_permutation over all n
+  // with early dedup would revisit assignments, so recurse instead.
+  std::vector<bool> used(n, false);
+  std::vector<std::size_t> choice(m);
+  auto recurse = [&](auto&& self, std::size_t i, double acc) -> void {
+    if (acc >= best) {
+      return;  // branch and bound
+    }
+    if (i == m) {
+      best = acc;
+      return;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (used[j]) {
+        continue;
+      }
+      used[j] = true;
+      self(self, i + 1, acc + cost[i * n + j]);
+      used[j] = false;
+    }
+  };
+  recurse(recurse, 0, 0.0);
+
+  const double cardinality_penalty =
+      std::pow(config.cutoff, config.order) * static_cast<double>(n - m);
+  return std::pow((best + cardinality_penalty) / static_cast<double>(n),
+                  1.0 / config.order);
+}
+
+}  // namespace cdpf::filters

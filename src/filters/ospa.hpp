@@ -1,0 +1,31 @@
+// OSPA — Optimal SubPattern Assignment metric (Schuhmacher, Vo & Vo 2008),
+// the standard miss-distance between two finite point sets, used to score
+// multi-target trackers: it combines per-target localization error with a
+// cardinality penalty for missed or phantom tracks.
+//
+//   OSPA_p,c(X, Y) = ( (1/n) * [ min_assignment sum d_c(x, y)^p
+//                                + c^p * (n - m) ] )^(1/p)
+// with m = |X| <= n = |Y| (swap otherwise), d_c = min(d, c).
+#pragma once
+
+#include <span>
+
+#include "geom/vec2.hpp"
+
+namespace cdpf::filters {
+
+struct OspaConfig {
+  double cutoff = 20.0;  // c: cost assigned to a missed/phantom target
+  double order = 1.0;    // p
+  /// Optimal assignment is found by exhaustive permutation of the smaller
+  /// set; sets larger than this are rejected (8! = 40320 checks).
+  std::size_t max_cardinality = 8;
+};
+
+/// OSPA distance between the estimated and true position sets. Zero when
+/// both are empty; the full cutoff when exactly one is empty.
+double ospa_distance(std::span<const geom::Vec2> estimates,
+                     std::span<const geom::Vec2> truths,
+                     const OspaConfig& config = {});
+
+}  // namespace cdpf::filters

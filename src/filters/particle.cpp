@@ -1,0 +1,62 @@
+#include "filters/particle.hpp"
+
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+
+double total_weight(std::span<const Particle> particles) {
+  double total = 0.0;
+  for (const Particle& p : particles) {
+    total += p.weight;
+  }
+  return total;
+}
+
+void normalize_weights(std::span<Particle> particles, double total) {
+  CDPF_CHECK_MSG(total > 0.0, "cannot normalize with a non-positive total weight");
+  const double inv = 1.0 / total;
+  for (Particle& p : particles) {
+    p.weight *= inv;
+  }
+}
+
+void normalize_weights(std::span<Particle> particles) {
+  normalize_weights(particles, total_weight(particles));
+}
+
+double effective_sample_size(std::span<const Particle> particles) {
+  double sum_sq = 0.0;
+  for (const Particle& p : particles) {
+    sum_sq += p.weight * p.weight;
+  }
+  return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
+}
+
+tracking::TargetState weighted_mean_state(std::span<const Particle> particles) {
+  const double total = total_weight(particles);
+  CDPF_CHECK_MSG(total > 0.0, "weighted mean needs a positive total weight");
+  geom::Vec2 position{};
+  geom::Vec2 velocity{};
+  for (const Particle& p : particles) {
+    position += p.state.position * p.weight;
+    velocity += p.state.velocity * p.weight;
+  }
+  return {position / total, velocity / total};
+}
+
+PositionCovariance weighted_position_covariance(std::span<const Particle> particles) {
+  const double total = total_weight(particles);
+  CDPF_CHECK_MSG(total > 0.0, "covariance needs a positive total weight");
+  const tracking::TargetState mean = weighted_mean_state(particles);
+  PositionCovariance cov;
+  for (const Particle& p : particles) {
+    const geom::Vec2 d = p.state.position - mean.position;
+    const double w = p.weight / total;
+    cov.xx += w * d.x * d.x;
+    cov.xy += w * d.x * d.y;
+    cov.yy += w * d.y * d.y;
+  }
+  return cov;
+}
+
+}  // namespace cdpf::filters

@@ -1,0 +1,161 @@
+#include "filters/resampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+
+std::string_view resampling_scheme_name(ResamplingScheme scheme) {
+  switch (scheme) {
+    case ResamplingScheme::kMultinomial: return "multinomial";
+    case ResamplingScheme::kStratified: return "stratified";
+    case ResamplingScheme::kSystematic: return "systematic";
+    case ResamplingScheme::kResidual: return "residual";
+  }
+  return "?";
+}
+
+namespace {
+
+double checked_total(std::span<const double> weights) {
+  CDPF_CHECK_MSG(!weights.empty(), "resampling needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    CDPF_CHECK_MSG(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  CDPF_CHECK_MSG(total > 0.0, "resampling needs a positive total weight");
+  return total;
+}
+
+/// Walk the cumulative weights with `count` ordered pointers produced by
+/// `pointer(i)`; shared by the stratified and systematic schemes.
+template <typename PointerFn>
+std::vector<std::size_t> ordered_pointer_resample(std::span<const double> weights,
+                                                  std::size_t count, double total,
+                                                  PointerFn pointer) {
+  std::vector<std::size_t> indices;
+  indices.reserve(count);
+  double cumulative = weights[0];
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = pointer(i) * total;
+    while (u > cumulative && j + 1 < weights.size()) {
+      ++j;
+      cumulative += weights[j];
+    }
+    indices.push_back(j);
+  }
+  return indices;
+}
+
+}  // namespace
+
+std::vector<std::size_t> resample_indices(std::span<const double> weights,
+                                          std::size_t count, ResamplingScheme scheme,
+                                          rng::Rng& rng) {
+  const double total = checked_total(weights);
+  CDPF_CHECK_MSG(count > 0, "resampling must produce at least one particle");
+
+  switch (scheme) {
+    case ResamplingScheme::kMultinomial: {
+      // Sorting the uniforms would allow a single cumulative pass; for the
+      // particle counts used here (<= a few thousand) the direct inverse-CDF
+      // per draw is simpler and fast enough.
+      std::vector<double> cumulative(weights.size());
+      double acc = 0.0;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        cumulative[i] = acc;
+      }
+      std::vector<std::size_t> indices;
+      indices.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const double u = rng.uniform() * total;
+        const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+        indices.push_back(static_cast<std::size_t>(
+            std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                     static_cast<std::ptrdiff_t>(weights.size()) - 1)));
+      }
+      return indices;
+    }
+    case ResamplingScheme::kStratified: {
+      const double n = static_cast<double>(count);
+      return ordered_pointer_resample(weights, count, total, [&](std::size_t i) {
+        return (static_cast<double>(i) + rng.uniform()) / n;
+      });
+    }
+    case ResamplingScheme::kSystematic: {
+      const double n = static_cast<double>(count);
+      const double u0 = rng.uniform();
+      return ordered_pointer_resample(weights, count, total, [&](std::size_t i) {
+        return (static_cast<double>(i) + u0) / n;
+      });
+    }
+    case ResamplingScheme::kResidual: {
+      const double n = static_cast<double>(count);
+      std::vector<std::size_t> indices;
+      indices.reserve(count);
+      std::vector<double> residuals(weights.size());
+      std::size_t deterministic = 0;
+      for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double expected = n * weights[i] / total;
+        const auto copies = static_cast<std::size_t>(std::floor(expected));
+        indices.insert(indices.end(), copies, i);
+        residuals[i] = expected - static_cast<double>(copies);
+        deterministic += copies;
+      }
+      const std::size_t remaining = count - deterministic;
+      if (remaining > 0) {
+        // Multinomial over the residuals via inverse CDF + binary search
+        // (O(m log n) instead of one O(n) categorical scan per draw).
+        std::vector<double> cumulative(residuals.size());
+        double acc = 0.0;
+        for (std::size_t i = 0; i < residuals.size(); ++i) {
+          acc += residuals[i];
+          cumulative[i] = acc;
+        }
+        if (acc <= 0.0) {
+          // Floating-point edge: the floors consumed all the mass yet the
+          // counts do not add up. Give the leftovers to the heaviest index.
+          const auto heaviest = static_cast<std::size_t>(
+              std::max_element(weights.begin(), weights.end()) - weights.begin());
+          indices.insert(indices.end(), remaining, heaviest);
+          return indices;
+        }
+        for (std::size_t i = 0; i < remaining; ++i) {
+          const double u = rng.uniform() * acc;
+          const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+          indices.push_back(static_cast<std::size_t>(
+              std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                       static_cast<std::ptrdiff_t>(residuals.size()) - 1)));
+        }
+      }
+      return indices;
+    }
+  }
+  throw Error("unknown resampling scheme");
+}
+
+void resample_particles(std::vector<Particle>& particles, std::size_t count,
+                        ResamplingScheme scheme, rng::Rng& rng) {
+  CDPF_CHECK_MSG(!particles.empty(), "cannot resample an empty particle set");
+  std::vector<double> weights;
+  weights.reserve(particles.size());
+  for (const Particle& p : particles) {
+    weights.push_back(p.weight);
+  }
+  const double total = checked_total(weights);
+  const auto indices = resample_indices(weights, count, scheme, rng);
+  std::vector<Particle> next;
+  next.reserve(count);
+  const double equal_weight = total / static_cast<double>(count);
+  for (const std::size_t i : indices) {
+    next.push_back({particles[i].state, equal_weight});
+  }
+  particles = std::move(next);
+}
+
+}  // namespace cdpf::filters

@@ -1,0 +1,45 @@
+// Resampling schemes.
+//
+// Resampling combats weight degeneracy by replacing the weighted set with an
+// equally weighted set drawn (approximately) in proportion to the weights.
+// All four classic schemes are implemented; SIR filters (and the paper's
+// algorithms) resample every iteration with the systematic scheme by
+// default, and the ablation bench A5 compares the alternatives inside CDPF.
+//
+// Contracts common to all schemes: `weights` must contain at least one
+// strictly positive entry (they need not be normalized); the output is
+// `count` ancestor indices into `weights`; every scheme is unbiased, i.e.
+// E[#offspring of i] = count * w_i / sum(w).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "filters/particle.hpp"
+#include "random/rng.hpp"
+
+namespace cdpf::filters {
+
+enum class ResamplingScheme : std::uint8_t {
+  kMultinomial,  // count i.i.d. categorical draws — highest variance
+  kStratified,   // one draw per stratum [i/count, (i+1)/count)
+  kSystematic,   // single draw, offsets i/count — lowest variance, O(count)
+  kResidual,     // deterministic floor(count * w) copies + multinomial rest
+};
+
+std::string_view resampling_scheme_name(ResamplingScheme scheme);
+
+/// Draw `count` ancestor indices according to `scheme`.
+std::vector<std::size_t> resample_indices(std::span<const double> weights,
+                                          std::size_t count, ResamplingScheme scheme,
+                                          rng::Rng& rng);
+
+/// In-place resampling of a particle set to `count` particles with equal
+/// weights summing to the original total (so un-normalized sets keep their
+/// mass — important for CDPF where the total is the overheard aggregate).
+void resample_particles(std::vector<Particle>& particles, std::size_t count,
+                        ResamplingScheme scheme, rng::Rng& rng);
+
+}  // namespace cdpf::filters

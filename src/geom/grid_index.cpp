@@ -1,0 +1,86 @@
+#include "geom/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cdpf::geom {
+
+GridIndex::GridIndex(std::span<const Vec2> points, Aabb bounds, double cell_size)
+    : points_(points.begin(), points.end()), bounds_(bounds), cell_size_(cell_size) {
+  CDPF_CHECK_MSG(cell_size_ > 0.0, "grid cell size must be positive");
+  CDPF_CHECK_MSG(bounds_.width() >= 0.0 && bounds_.height() >= 0.0,
+                 "grid bounds must be non-degenerate");
+  nx_ = static_cast<std::size_t>(std::max(1.0, std::ceil(bounds_.width() / cell_size_)));
+  ny_ = static_cast<std::size_t>(std::max(1.0, std::ceil(bounds_.height() / cell_size_)));
+
+  for (const Vec2 p : points_) {
+    CDPF_CHECK_MSG(bounds_.contains(p), "all indexed points must lie inside the bounds");
+  }
+
+  // Counting sort of point ids into cells (CSR layout, two passes).
+  const std::size_t num_cells = nx_ * ny_;
+  cell_start_.assign(num_cells + 1, 0);
+  for (const Vec2 p : points_) {
+    ++cell_start_[cell_of(p) + 1];
+  }
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    cell_start_[c + 1] += cell_start_[c];
+  }
+  ids_.resize(points_.size());
+  std::vector<std::size_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    ids_[cursor[cell_of(points_[i])]++] = i;
+  }
+}
+
+std::size_t GridIndex::cell_of(Vec2 p) const {
+  auto coord = [this](double v, double lo, std::size_t n) {
+    const auto c = static_cast<std::ptrdiff_t>((v - lo) / cell_size_);
+    return static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(c, 0, static_cast<std::ptrdiff_t>(n) - 1));
+  };
+  return cell_at(coord(p.x, bounds_.lo.x, nx_), coord(p.y, bounds_.lo.y, ny_));
+}
+
+void GridIndex::visit_disk(Vec2 center, double radius,
+                           const std::function<void(std::size_t)>& visit) const {
+  CDPF_CHECK_MSG(radius >= 0.0, "query radius must be non-negative");
+  const double r2 = radius * radius;
+  auto cell_coord = [this](double v, double lo, std::size_t n) {
+    const auto c = static_cast<std::ptrdiff_t>(std::floor((v - lo) / cell_size_));
+    return static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(c, 0, static_cast<std::ptrdiff_t>(n) - 1));
+  };
+  const std::size_t cx0 = cell_coord(center.x - radius, bounds_.lo.x, nx_);
+  const std::size_t cx1 = cell_coord(center.x + radius, bounds_.lo.x, nx_);
+  const std::size_t cy0 = cell_coord(center.y - radius, bounds_.lo.y, ny_);
+  const std::size_t cy1 = cell_coord(center.y + radius, bounds_.lo.y, ny_);
+  for (std::size_t cy = cy0; cy <= cy1; ++cy) {
+    for (std::size_t cx = cx0; cx <= cx1; ++cx) {
+      const std::size_t c = cell_at(cx, cy);
+      for (std::size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        const std::size_t id = ids_[k];
+        if (distance_squared(points_[id], center) <= r2) {
+          visit(id);
+        }
+      }
+    }
+  }
+}
+
+std::size_t GridIndex::query_disk(Vec2 center, double radius,
+                                  std::vector<std::size_t>& out) const {
+  out.clear();
+  visit_disk(center, radius, [&out](std::size_t id) { out.push_back(id); });
+  return out.size();
+}
+
+std::vector<std::size_t> GridIndex::query_disk(Vec2 center, double radius) const {
+  std::vector<std::size_t> out;
+  query_disk(center, radius, out);
+  return out;
+}
+
+}  // namespace cdpf::geom

@@ -1,0 +1,58 @@
+// Uniform-grid spatial index over static 2-D points.
+//
+// Sensor positions are fixed for a deployment, so a bucketed grid built once
+// answers "all nodes within r of p" in O(points in the neighborhood) — this
+// is the hot query of the whole simulator (neighbor tables, detection sets,
+// predicted-area membership). A k-d tree would work too; the grid is chosen
+// because deployments are uniform-random, making occupancy well balanced.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/shapes.hpp"
+#include "geom/vec2.hpp"
+
+namespace cdpf::geom {
+
+class GridIndex {
+ public:
+  /// Builds the index over `points` (indices into this span are the ids
+  /// returned by queries). `cell_size` should be on the order of the typical
+  /// query radius; bounds must contain all points.
+  GridIndex(std::span<const Vec2> points, Aabb bounds, double cell_size);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Ids of all points within `radius` of `center` (closed ball). Appends to
+  /// `out` after clearing it; returns out.size().
+  std::size_t query_disk(Vec2 center, double radius, std::vector<std::size_t>& out) const;
+
+  /// Convenience allocation variant of query_disk.
+  std::vector<std::size_t> query_disk(Vec2 center, double radius) const;
+
+  /// Visit ids within the disk without materializing a vector.
+  void visit_disk(Vec2 center, double radius,
+                  const std::function<void(std::size_t)>& visit) const;
+
+  const Aabb& bounds() const { return bounds_; }
+  double cell_size() const { return cell_size_; }
+
+ private:
+  std::size_t cell_of(Vec2 p) const;
+  std::size_t cell_at(std::size_t cx, std::size_t cy) const { return cy * nx_ + cx; }
+
+  std::vector<Vec2> points_;
+  Aabb bounds_;
+  double cell_size_ = 1.0;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  // CSR-style bucket layout: ids_ holds point ids grouped by cell;
+  // cell_start_[c] .. cell_start_[c+1] delimits cell c.
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> ids_;
+};
+
+}  // namespace cdpf::geom

@@ -1,0 +1,108 @@
+#include "geom/kdtree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace cdpf::geom {
+
+KdTree::KdTree(std::span<const Vec2> points) : points_(points.begin(), points.end()) {
+  if (points_.empty()) {
+    return;
+  }
+  std::vector<std::size_t> ids(points_.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  nodes_.reserve(points_.size());
+  root_ = build(ids, 0);
+}
+
+int KdTree::build(std::span<std::size_t> ids, int depth) {
+  if (ids.empty()) {
+    return -1;
+  }
+  const std::uint8_t axis = static_cast<std::uint8_t>(depth % 2);
+  const std::size_t median = ids.size() / 2;
+  std::nth_element(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(median),
+                   ids.end(), [&](std::size_t a, std::size_t b) {
+                     return axis == 0 ? points_[a].x < points_[b].x
+                                      : points_[a].y < points_[b].y;
+                   });
+  const int index = static_cast<int>(nodes_.size());
+  nodes_.push_back({ids[median], -1, -1, axis});
+  // Recurse after reserving this node's slot (children append behind it).
+  const int left = build(ids.subspan(0, median), depth + 1);
+  const int right = build(ids.subspan(median + 1), depth + 1);
+  nodes_[static_cast<std::size_t>(index)].left = left;
+  nodes_[static_cast<std::size_t>(index)].right = right;
+  return index;
+}
+
+void KdTree::visit_node(int node, Vec2 center, double radius_sq,
+                        const std::function<void(std::size_t)>& visit) const {
+  if (node < 0) {
+    return;
+  }
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Vec2 p = points_[n.point];
+  if (distance_squared(p, center) <= radius_sq) {
+    visit(n.point);
+  }
+  const double delta = n.axis == 0 ? center.x - p.x : center.y - p.y;
+  const int near_child = delta <= 0.0 ? n.left : n.right;
+  const int far_child = delta <= 0.0 ? n.right : n.left;
+  visit_node(near_child, center, radius_sq, visit);
+  if (delta * delta <= radius_sq) {
+    visit_node(far_child, center, radius_sq, visit);
+  }
+}
+
+void KdTree::visit_disk(Vec2 center, double radius,
+                        const std::function<void(std::size_t)>& visit) const {
+  if (radius < 0.0) {
+    return;
+  }
+  visit_node(root_, center, radius * radius, visit);
+}
+
+std::size_t KdTree::query_disk(Vec2 center, double radius,
+                               std::vector<std::size_t>& out) const {
+  out.clear();
+  visit_disk(center, radius, [&out](std::size_t id) { out.push_back(id); });
+  return out.size();
+}
+
+std::vector<std::size_t> KdTree::query_disk(Vec2 center, double radius) const {
+  std::vector<std::size_t> out;
+  query_disk(center, radius, out);
+  return out;
+}
+
+void KdTree::nearest_node(int node, Vec2 center, std::size_t& best,
+                          double& best_sq) const {
+  if (node < 0) {
+    return;
+  }
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const Vec2 p = points_[n.point];
+  const double d_sq = distance_squared(p, center);
+  if (d_sq < best_sq) {
+    best_sq = d_sq;
+    best = n.point;
+  }
+  const double delta = n.axis == 0 ? center.x - p.x : center.y - p.y;
+  const int near_child = delta <= 0.0 ? n.left : n.right;
+  const int far_child = delta <= 0.0 ? n.right : n.left;
+  nearest_node(near_child, center, best, best_sq);
+  if (delta * delta < best_sq) {
+    nearest_node(far_child, center, best, best_sq);
+  }
+}
+
+std::size_t KdTree::nearest(Vec2 center) const {
+  std::size_t best = points_.size();
+  double best_sq = std::numeric_limits<double>::infinity();
+  nearest_node(root_, center, best, best_sq);
+  return best;
+}
+
+}  // namespace cdpf::geom

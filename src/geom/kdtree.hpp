@@ -1,0 +1,57 @@
+// Static 2-D k-d tree — the alternative spatial index to GridIndex.
+//
+// The grid is the right default for the paper's uniform-random deployments;
+// the k-d tree wins on strongly clustered point sets (corridor or perimeter
+// deployments) where grid buckets become unbalanced. Both indexes expose
+// the same disk-query contract and are checked against each other by the
+// property tests; the microbench compares their throughput.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace cdpf::geom {
+
+class KdTree {
+ public:
+  /// Builds the tree over `points`; indices into this span are the ids
+  /// returned by queries. O(n log n) construction.
+  explicit KdTree(std::span<const Vec2> points);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Ids of all points within `radius` of `center` (closed ball).
+  std::size_t query_disk(Vec2 center, double radius, std::vector<std::size_t>& out) const;
+  std::vector<std::size_t> query_disk(Vec2 center, double radius) const;
+
+  /// Visit ids within the disk without materializing a vector.
+  void visit_disk(Vec2 center, double radius,
+                  const std::function<void(std::size_t)>& visit) const;
+
+  /// Id of the nearest point to `center`; size() when the tree is empty.
+  std::size_t nearest(Vec2 center) const;
+
+ private:
+  struct Node {
+    std::size_t point = 0;   // id of the point stored at this node
+    int left = -1;           // node indices; -1 = leaf edge
+    int right = -1;
+    std::uint8_t axis = 0;   // 0 = x, 1 = y
+  };
+
+  int build(std::span<std::size_t> ids, int depth);
+  void visit_node(int node, Vec2 center, double radius_sq,
+                  const std::function<void(std::size_t)>& visit) const;
+  void nearest_node(int node, Vec2 center, std::size_t& best, double& best_sq) const;
+
+  std::vector<Vec2> points_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace cdpf::geom

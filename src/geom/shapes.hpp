@@ -1,0 +1,63 @@
+// Axis-aligned rectangles and disks: the deployment field, sensing areas,
+// communication areas, and the paper's "predicted areas" (Definition 1).
+#pragma once
+
+#include <algorithm>
+
+#include "geom/vec2.hpp"
+
+namespace cdpf::geom {
+
+/// Axis-aligned bounding box, inclusive on all edges.
+struct Aabb {
+  Vec2 lo;
+  Vec2 hi;
+
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  constexpr double width() const { return hi.x - lo.x; }
+  constexpr double height() const { return hi.y - lo.y; }
+  constexpr double area() const { return width() * height(); }
+
+  constexpr Vec2 center() const { return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0}; }
+
+  /// Closest point of the box to p (p itself when inside).
+  constexpr Vec2 clamp(Vec2 p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y)};
+  }
+
+  /// Field of the paper's evaluation: [0, side] x [0, side].
+  static constexpr Aabb square(double side) { return {{0.0, 0.0}, {side, side}}; }
+};
+
+/// Closed disk; used for sensing ranges, radio ranges and predicted areas.
+struct Disk {
+  Vec2 center;
+  double radius = 0.0;
+
+  constexpr bool contains(Vec2 p) const {
+    return distance_squared(center, p) <= radius * radius;
+  }
+
+  constexpr bool intersects(const Disk& other) const {
+    const double r = radius + other.radius;
+    return distance_squared(center, other.center) <= r * r;
+  }
+};
+
+/// Minimum distance from point p to the segment [a, b]; used to decide
+/// whether a target's motion during one time step crossed a sensing disk
+/// (instant-detection model on a continuous trajectory).
+inline double distance_point_segment(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm_squared();
+  if (len2 == 0.0) {
+    return distance(p, a);
+  }
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return distance(p, a + ab * t);
+}
+
+}  // namespace cdpf::geom

@@ -1,0 +1,58 @@
+// High-level random number interface used throughout the simulator.
+//
+// All distribution sampling is implemented here (not via <random>
+// distributions) so that a given seed produces identical sequences on every
+// platform/compiler — essential for reproducible experiments and goldens.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "random/engine.hpp"
+
+namespace cdpf::rng {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1). 53-bit resolution.
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  /// modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via the Marsaglia polar method (deterministic, no
+  /// libm-dependent tail behavior differences).
+  double gaussian();
+
+  /// Normal with the given mean / standard deviation (sigma >= 0).
+  double gaussian(double mean, double sigma);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Sample an index from unnormalized non-negative weights. Requires at
+  /// least one strictly positive weight.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fork a statistically independent child generator (jump-based).
+  Rng fork();
+
+  /// Access the raw engine (for std:: algorithms such as std::shuffle).
+  Xoshiro256StarStar& engine() { return engine_; }
+
+ private:
+  Xoshiro256StarStar engine_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cdpf::rng

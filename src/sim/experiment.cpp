@@ -1,0 +1,120 @@
+#include "sim/experiment.hpp"
+
+#include <vector>
+
+#include "sim/thread_pool.hpp"
+#include "support/check.hpp"
+#include "wsn/deployment.hpp"
+
+namespace cdpf::sim {
+
+std::size_t Scenario::node_count() const {
+  return wsn::node_count_for_density(density_per_100m2, network.field);
+}
+
+std::string_view algorithm_name(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kCpf: return "CPF";
+    case AlgorithmKind::kDpf: return "DPF";
+    case AlgorithmKind::kSdpf: return "SDPF";
+    case AlgorithmKind::kCdpf: return "CDPF";
+    case AlgorithmKind::kCdpfNe: return "CDPF-NE";
+    case AlgorithmKind::kGmmDpf: return "GMM-DPF";
+  }
+  return "?";
+}
+
+std::unique_ptr<core::TrackerAlgorithm> make_tracker(AlgorithmKind kind,
+                                                     wsn::Network& network,
+                                                     wsn::Radio& radio,
+                                                     const AlgorithmParams& params) {
+  switch (kind) {
+    case AlgorithmKind::kCpf: {
+      core::CpfConfig config = params.cpf;
+      config.quantization_levels.reset();
+      return std::make_unique<core::CentralizedPf>(network, radio, config);
+    }
+    case AlgorithmKind::kDpf: {
+      core::CpfConfig config = params.cpf;
+      config.quantization_levels = params.dpf_quantization_levels;
+      return std::make_unique<core::CentralizedPf>(network, radio, config);
+    }
+    case AlgorithmKind::kSdpf:
+      return std::make_unique<core::Sdpf>(network, radio, params.sdpf);
+    case AlgorithmKind::kCdpf: {
+      core::CdpfConfig config = params.cdpf;
+      config.use_neighborhood_estimation = false;
+      return std::make_unique<core::Cdpf>(network, radio, config);
+    }
+    case AlgorithmKind::kCdpfNe: {
+      core::CdpfConfig config = params.cdpf;
+      config.use_neighborhood_estimation = true;
+      return std::make_unique<core::Cdpf>(network, radio, config);
+    }
+    case AlgorithmKind::kGmmDpf:
+      return std::make_unique<core::GmmDpf>(network, radio, params.gmm_dpf);
+  }
+  throw Error("unknown algorithm kind");
+}
+
+wsn::Network build_network(const Scenario& scenario, rng::Rng& rng) {
+  const std::size_t count = scenario.node_count();
+  return wsn::Network(wsn::deploy_uniform_random(count, scenario.network.field, rng),
+                      scenario.network);
+}
+
+TrialResult run_trial(const Scenario& scenario, AlgorithmKind kind,
+                      const AlgorithmParams& params, std::uint64_t root_seed,
+                      std::size_t trial_index, const HookFactory& hook_factory) {
+  rng::Rng rng(rng::derive_stream_seed(root_seed, trial_index));
+  wsn::Network network = build_network(scenario, rng);
+  wsn::Radio radio(network, scenario.payloads);
+  const tracking::Trajectory trajectory =
+      tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+  const std::unique_ptr<core::TrackerAlgorithm> tracker =
+      make_tracker(kind, network, radio, params);
+  StepHook hook;
+  if (hook_factory) {
+    hook = hook_factory(network, rng);
+  }
+  TrialResult result;
+  result.node_count = network.size();
+  result.outcome = run_tracking(*tracker, trajectory, rng, hook);
+  return result;
+}
+
+MonteCarloResult run_monte_carlo(const Scenario& scenario, AlgorithmKind kind,
+                                 const AlgorithmParams& params, std::size_t trials,
+                                 std::uint64_t root_seed, std::size_t workers,
+                                 const HookFactory& hook_factory) {
+  CDPF_CHECK_MSG(trials > 0, "Monte Carlo needs at least one trial");
+  std::vector<TrialResult> results(trials);
+  auto run_one = [&](std::size_t t) {
+    results[t] = run_trial(scenario, kind, params, root_seed, t, hook_factory);
+  };
+  if (workers > 1) {
+    ThreadPool pool(workers);
+    pool.parallel_for(trials, run_one);
+  } else {
+    for (std::size_t t = 0; t < trials; ++t) {
+      run_one(t);
+    }
+  }
+
+  MonteCarloResult aggregate;
+  aggregate.trials = trials;
+  for (const TrialResult& r : results) {
+    if (!r.outcome.produced_estimates()) {
+      ++aggregate.trials_without_estimates;
+      continue;
+    }
+    aggregate.rmse.add(r.outcome.rmse());
+    aggregate.mean_error.add(r.outcome.mean_error());
+    aggregate.total_bytes.add(static_cast<double>(r.outcome.comm.total_bytes()));
+    aggregate.total_messages.add(static_cast<double>(r.outcome.comm.total_messages()));
+    aggregate.estimates.add(static_cast<double>(r.outcome.scored.size()));
+  }
+  return aggregate;
+}
+
+}  // namespace cdpf::sim

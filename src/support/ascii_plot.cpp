@@ -1,0 +1,65 @@
+#include "support/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/table.hpp"
+
+namespace cdpf::support {
+
+AsciiPlot::AsciiPlot(double x0, double x1, double y0, double y1, std::size_t cols,
+                     std::size_t rows)
+    : x0_(x0), x1_(x1), y0_(y0), y1_(y1), cols_(cols), rows_(rows) {
+  CDPF_CHECK_MSG(x1 > x0 && y1 > y0, "plot window must be non-degenerate");
+  CDPF_CHECK_MSG(cols >= 2 && rows >= 2, "plot raster must be at least 2x2");
+  raster_.assign(rows_, std::string(cols_, ' '));
+}
+
+void AsciiPlot::point(double x, double y, char glyph) {
+  if (x < x0_ || x > x1_ || y < y0_ || y > y1_) {
+    return;
+  }
+  const auto c = static_cast<std::size_t>(std::min(
+      (x - x0_) / (x1_ - x0_) * static_cast<double>(cols_ - 1),
+      static_cast<double>(cols_ - 1)));
+  // Rows render top-down; world y grows upward.
+  const auto r = static_cast<std::size_t>(std::min(
+      (y1_ - y) / (y1_ - y0_) * static_cast<double>(rows_ - 1),
+      static_cast<double>(rows_ - 1)));
+  raster_[r][c] = glyph;
+}
+
+void AsciiPlot::polyline(const std::vector<std::pair<double, double>>& points,
+                         char glyph) {
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const auto [ax, ay] = points[i];
+    const auto [bx, by] = points[i + 1];
+    const double length = std::hypot(bx - ax, by - ay);
+    const double cell = std::min((x1_ - x0_) / static_cast<double>(cols_),
+                                 (y1_ - y0_) / static_cast<double>(rows_));
+    const int steps = std::max(1, static_cast<int>(std::ceil(length / cell)));
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      point(ax + (bx - ax) * t, ay + (by - ay) * t, glyph);
+    }
+  }
+  if (points.size() == 1) {
+    point(points[0].first, points[0].second, glyph);
+  }
+}
+
+std::string AsciiPlot::render() const {
+  std::ostringstream os;
+  os << '+' << std::string(cols_, '-') << "+  y=" << format_double(y1_, 0) << '\n';
+  for (const std::string& row : raster_) {
+    os << '|' << row << "|\n";
+  }
+  os << '+' << std::string(cols_, '-') << "+  y=" << format_double(y0_, 0) << '\n';
+  os << " x=" << format_double(x0_, 0) << std::string(cols_ > 12 ? cols_ - 12 : 0, ' ')
+     << "x=" << format_double(x1_, 0) << '\n';
+  return os.str();
+}
+
+}  // namespace cdpf::support

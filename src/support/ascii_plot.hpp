@@ -1,0 +1,34 @@
+// Terminal rendering of 2-D tracks: a character raster of the surveillance
+// field with one glyph per series (trajectory, estimates, ...). Used by the
+// Figure-4 bench and the examples so a run can be eyeballed without leaving
+// the terminal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cdpf::support {
+
+class AsciiPlot {
+ public:
+  /// World window [x0, x1] x [y0, y1] rendered onto a cols x rows raster.
+  AsciiPlot(double x0, double x1, double y0, double y1, std::size_t cols = 100,
+            std::size_t rows = 30);
+
+  /// Plot one point with the given glyph; later series overwrite earlier
+  /// ones where they collide. Points outside the window are ignored.
+  void point(double x, double y, char glyph);
+
+  /// Plot a polyline (dense interpolation between consecutive points).
+  void polyline(const std::vector<std::pair<double, double>>& points, char glyph);
+
+  /// Render with a simple border and axis labels.
+  std::string render() const;
+
+ private:
+  double x0_, x1_, y0_, y1_;
+  std::size_t cols_, rows_;
+  std::vector<std::string> raster_;
+};
+
+}  // namespace cdpf::support

@@ -1,0 +1,40 @@
+#include "support/bitstream.hpp"
+
+#include "support/check.hpp"
+
+namespace cdpf::support {
+
+void BitWriter::write(std::uint64_t bits, std::size_t count) {
+  CDPF_CHECK_MSG(count <= 64, "can write at most 64 bits at a time");
+  for (std::size_t i = count; i-- > 0;) {
+    const bool bit = (bits >> i) & 1ULL;
+    const std::size_t byte_index = bit_count_ / 8;
+    if (byte_index == buffer_.size()) {
+      buffer_.push_back(0);
+    }
+    if (bit) {
+      buffer_[byte_index] |= static_cast<std::uint8_t>(1u << (7 - bit_count_ % 8));
+    }
+    ++bit_count_;
+  }
+}
+
+BitReader::BitReader(const std::vector<std::uint8_t>& buffer, std::size_t bit_count)
+    : buffer_(buffer), bit_count_(bit_count) {
+  CDPF_CHECK_MSG(bit_count <= buffer.size() * 8, "bit count exceeds the buffer");
+}
+
+std::uint64_t BitReader::read(std::size_t count) {
+  CDPF_CHECK_MSG(count <= 64, "can read at most 64 bits at a time");
+  CDPF_CHECK_MSG(position_ + count <= bit_count_, "read past the end of the stream");
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t byte_index = position_ / 8;
+    const bool bit = (buffer_[byte_index] >> (7 - position_ % 8)) & 1u;
+    value = (value << 1) | (bit ? 1ULL : 0ULL);
+    ++position_;
+  }
+  return value;
+}
+
+}  // namespace cdpf::support

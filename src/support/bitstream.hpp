@@ -1,0 +1,48 @@
+// Bit-granular I/O buffers for the adaptive-encoding DPF (Ing & Coates):
+// measurement messages are packed as variable-length codewords, so the
+// communication accounting needs exact bit counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cdpf::support {
+
+class BitWriter {
+ public:
+  /// Append the lowest `count` bits of `bits`, most significant first.
+  void write(std::uint64_t bits, std::size_t count);
+
+  std::size_t bit_count() const { return bit_count_; }
+  /// Bits rounded up to whole bytes (what a radio frame would carry).
+  std::size_t byte_count() const { return (bit_count_ + 7) / 8; }
+
+  /// Finished buffer, zero-padded in the last byte.
+  const std::vector<std::uint8_t>& bytes() const { return buffer_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t bit_count_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint8_t>& buffer, std::size_t bit_count);
+
+  /// Read `count` bits (most significant first). Throws cdpf::Error when
+  /// reading past the end.
+  std::uint64_t read(std::size_t count);
+
+  /// Read a single bit.
+  bool read_bit() { return read(1) != 0; }
+
+  std::size_t remaining_bits() const { return bit_count_ - position_; }
+
+ private:
+  const std::vector<std::uint8_t>& buffer_;
+  std::size_t bit_count_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace cdpf::support

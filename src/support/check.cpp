@@ -1,0 +1,18 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace cdpf::detail {
+
+void throw_check_failure(const char* expr, const std::string& message,
+                         std::source_location loc) {
+  std::ostringstream os;
+  os << "CDPF_CHECK failed: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line();
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace cdpf::detail

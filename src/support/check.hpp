@@ -1,0 +1,53 @@
+// Runtime invariant checking for the cdpf library.
+//
+// The library validates *external* inputs (configuration, file contents,
+// user-provided parameters) with CDPF_CHECK, which throws cdpf::Error so a
+// caller can recover or report. Internal invariants that indicate a bug in
+// the library itself use CDPF_ASSERT, which is compiled out in release
+// builds the same way the standard assert() is.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace cdpf {
+
+/// Exception thrown by all CDPF_CHECK failures and by library entry points
+/// that reject invalid arguments. Carries the failing expression/context.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_check_failure(const char* expr, const std::string& message,
+                                      std::source_location loc);
+
+}  // namespace detail
+
+}  // namespace cdpf
+
+/// Validate a condition on external input; throws cdpf::Error on failure.
+#define CDPF_CHECK(expr)                                                              \
+  do {                                                                                \
+    if (!(expr)) [[unlikely]] {                                                       \
+      ::cdpf::detail::throw_check_failure(#expr, "", std::source_location::current()); \
+    }                                                                                 \
+  } while (false)
+
+/// CDPF_CHECK with an explanatory message appended to the exception text.
+#define CDPF_CHECK_MSG(expr, msg)                                                      \
+  do {                                                                                 \
+    if (!(expr)) [[unlikely]] {                                                        \
+      ::cdpf::detail::throw_check_failure(#expr, (msg), std::source_location::current()); \
+    }                                                                                  \
+  } while (false)
+
+/// Internal invariant; active unless NDEBUG is defined.
+#ifdef NDEBUG
+#define CDPF_ASSERT(expr) ((void)0)
+#else
+#define CDPF_ASSERT(expr) CDPF_CHECK(expr)
+#endif

@@ -1,0 +1,99 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace cdpf::support {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  CDPF_CHECK(argc >= 1);
+  program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    CDPF_CHECK_MSG(arg.rfind("--", 0) == 0, "positional argument not supported: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::optional<std::string> CliArgs::get_string(const std::string& name) {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<double> CliArgs::get_double(const std::string& name) {
+  const auto text = get_string(name);
+  if (!text) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(text->c_str(), &end);
+  CDPF_CHECK_MSG(end != text->c_str() && *end == '\0', "--" + name + " expects a number");
+  return value;
+}
+
+std::optional<long long> CliArgs::get_int(const std::string& name) {
+  const auto text = get_string(name);
+  if (!text) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const long long value = std::strtoll(text->c_str(), &end, 10);
+  CDPF_CHECK_MSG(end != text->c_str() && *end == '\0', "--" + name + " expects an integer");
+  return value;
+}
+
+std::optional<bool> CliArgs::get_bool(const std::string& name) {
+  const auto text = get_string(name);
+  if (!text) {
+    return std::nullopt;
+  }
+  if (*text == "true" || *text == "1" || *text == "yes") {
+    return true;
+  }
+  if (*text == "false" || *text == "0" || *text == "no") {
+    return false;
+  }
+  throw Error("--" + name + " expects a boolean, got: " + *text);
+}
+
+std::optional<std::vector<double>> CliArgs::get_double_list(const std::string& name) {
+  const auto text = get_string(name);
+  if (!text) {
+    return std::nullopt;
+  }
+  std::vector<double> values;
+  std::istringstream is(*text);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    CDPF_CHECK_MSG(end != token.c_str() && *end == '\0',
+                   "--" + name + " expects comma-separated numbers");
+    values.push_back(value);
+  }
+  CDPF_CHECK_MSG(!values.empty(), "--" + name + " list is empty");
+  return values;
+}
+
+void CliArgs::check_unknown() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    CDPF_CHECK_MSG(queried_.contains(name), "unknown flag: --" + name);
+  }
+}
+
+}  // namespace cdpf::support

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser used by the examples and the benchmark
+// drivers (the figure benches accept e.g. --densities=5,10,20 --trials=10).
+//
+// Supported syntax: --name=value, --name value, and bare --flag (boolean).
+// Unknown flags are an error so typos do not silently fall back to defaults.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cdpf::support {
+
+class CliArgs {
+ public:
+  /// Parses argv. Throws cdpf::Error on malformed input (e.g. positional
+  /// arguments, which none of our binaries take).
+  CliArgs(int argc, const char* const* argv);
+
+  /// Declare a flag so it is recognized; returns its value if present.
+  std::optional<std::string> get_string(const std::string& name);
+  std::optional<double> get_double(const std::string& name);
+  std::optional<long long> get_int(const std::string& name);
+  std::optional<bool> get_bool(const std::string& name);
+  /// Comma-separated list of doubles ("5,10,15").
+  std::optional<std::vector<double>> get_double_list(const std::string& name);
+
+  /// Call after all get_*() declarations: throws cdpf::Error if the command
+  /// line contained a flag that was never queried.
+  void check_unknown() const;
+
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace cdpf::support

@@ -1,0 +1,52 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace cdpf::log {
+namespace {
+
+std::atomic<Level> g_threshold{Level::kWarning};
+std::mutex g_mutex;
+Sink g_sink;  // guarded by g_mutex; empty => stderr
+
+void default_sink(Level level, std::string_view message) {
+  std::cerr << "[cdpf:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarning: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) { g_threshold.store(level, std::memory_order_relaxed); }
+
+void set_sink(Sink sink) {
+  std::lock_guard lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void write(Level level, std::string_view message) {
+  if (level < threshold()) {
+    return;
+  }
+  std::lock_guard lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace cdpf::log

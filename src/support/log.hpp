@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// The simulator is used both interactively (examples) and inside tests and
+// benchmarks, so logging defaults to Warning and is mutable at runtime. The
+// logger writes to a caller-configurable sink; the default sink is stderr.
+// Thread safety: concurrent log() calls are serialized by an internal mutex
+// so Monte-Carlo worker threads can log safely.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cdpf::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Human-readable level name ("DEBUG", "INFO", ...).
+std::string_view level_name(Level level);
+
+/// Globally enabled minimum level; messages below it are dropped cheaply.
+Level threshold();
+void set_threshold(Level level);
+
+/// Replace the output sink. The sink receives fully formatted lines without
+/// trailing newline. Passing nullptr restores the stderr sink.
+using Sink = std::function<void(Level, std::string_view)>;
+void set_sink(Sink sink);
+
+/// Emit one message. Prefer the CDPF_LOG macro, which skips formatting work
+/// when the level is disabled.
+void write(Level level, std::string_view message);
+
+}  // namespace cdpf::log
+
+#define CDPF_LOG(level, stream_expr)                              \
+  do {                                                            \
+    if ((level) >= ::cdpf::log::threshold()) {                    \
+      std::ostringstream cdpf_log_os;                             \
+      cdpf_log_os << stream_expr;                                 \
+      ::cdpf::log::write((level), cdpf_log_os.str());             \
+    }                                                             \
+  } while (false)
+
+#define CDPF_LOG_DEBUG(stream_expr) CDPF_LOG(::cdpf::log::Level::kDebug, stream_expr)
+#define CDPF_LOG_INFO(stream_expr) CDPF_LOG(::cdpf::log::Level::kInfo, stream_expr)
+#define CDPF_LOG_WARN(stream_expr) CDPF_LOG(::cdpf::log::Level::kWarning, stream_expr)
+#define CDPF_LOG_ERROR(stream_expr) CDPF_LOG(::cdpf::log::Level::kError, stream_expr)

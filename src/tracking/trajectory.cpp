@@ -1,0 +1,100 @@
+#include "tracking/trajectory.hpp"
+
+#include <cmath>
+
+#include "geom/angles.hpp"
+#include "support/check.hpp"
+
+namespace cdpf::tracking {
+
+Trajectory::Trajectory(std::vector<TargetState> states, double dt)
+    : states_(std::move(states)), dt_(dt) {
+  CDPF_CHECK_MSG(!states_.empty(), "a trajectory needs at least one state");
+  CDPF_CHECK_MSG(dt_ > 0.0, "trajectory dt must be positive");
+}
+
+double Trajectory::duration() const {
+  return static_cast<double>(states_.size() - 1) * dt_;
+}
+
+const TargetState& Trajectory::at_step(std::size_t k) const {
+  CDPF_CHECK_MSG(k < states_.size(), "trajectory step out of range");
+  return states_[k];
+}
+
+TargetState Trajectory::at_time(double t) const {
+  if (t <= 0.0) {
+    return states_.front();
+  }
+  const double last = duration();
+  if (t >= last) {
+    return states_.back();
+  }
+  const double steps = t / dt_;
+  const auto k = static_cast<std::size_t>(steps);
+  const double frac = steps - static_cast<double>(k);
+  const TargetState& a = states_[k];
+  const TargetState& b = states_[k + 1];
+  return {a.position + (b.position - a.position) * frac,
+          a.velocity + (b.velocity - a.velocity) * frac};
+}
+
+Trajectory generate_random_turn_trajectory(const RandomTurnConfig& config,
+                                           rng::Rng& rng) {
+  CDPF_CHECK_MSG(config.speed >= 0.0, "target speed must be non-negative");
+  CDPF_CHECK_MSG(config.max_turn_rad >= 0.0, "max turn must be non-negative");
+  CDPF_CHECK_MSG(config.num_steps >= 1, "trajectory needs at least one step");
+
+  std::vector<TargetState> states;
+  states.reserve(config.num_steps + 1);
+  double heading = config.initial_heading_rad;
+  geom::Vec2 position = config.start;
+  states.push_back({position, geom::Vec2::from_angle(heading) * config.speed});
+
+  // Completing a U-turn at the bounded turn rate takes roughly
+  // turn_radius / step_length steps, so steering must engage that many
+  // steps before the boundary (plus one for safety).
+  const double step_length = config.speed * config.dt;
+  double lookahead_steps = 1.0;
+  if (config.max_turn_rad > 1e-9 && step_length > 1e-12) {
+    const double turn_radius = step_length / config.max_turn_rad;
+    lookahead_steps = std::ceil(turn_radius / step_length) + 1.0;
+  }
+  auto position_after = [&](double h, double steps) {
+    return position + geom::Vec2::from_angle(h) * (step_length * steps);
+  };
+  auto stays_inside = [&](double h) {
+    return config.steer_within->contains(position_after(h, 1.0)) &&
+           config.steer_within->contains(position_after(h, lookahead_steps));
+  };
+  for (std::size_t k = 0; k < config.num_steps; ++k) {
+    double candidate = geom::wrap_angle(
+        heading + rng.uniform(-config.max_turn_rad, config.max_turn_rad));
+    if (config.steer_within && !stays_inside(candidate)) {
+      // Pick the legal turn whose lookahead position is closest to the box
+      // center (evaluated at the turn extremes and straight ahead).
+      const geom::Vec2 center = config.steer_within->center();
+      double best = candidate;
+      double best_d =
+          geom::distance_squared(position_after(candidate, lookahead_steps), center);
+      for (const double h :
+           {geom::wrap_angle(heading - config.max_turn_rad), heading,
+            geom::wrap_angle(heading + config.max_turn_rad)}) {
+        const double d =
+            geom::distance_squared(position_after(h, lookahead_steps), center);
+        if (d < best_d) {
+          best_d = d;
+          best = h;
+        }
+      }
+      candidate = best;
+    }
+    heading = candidate;
+    const geom::Vec2 velocity = geom::Vec2::from_angle(heading) * config.speed;
+    position += velocity * config.dt;
+    states.push_back({position, velocity});
+  }
+  return Trajectory(std::move(states), config.dt);
+}
+
+}  // namespace cdpf::tracking

@@ -1,0 +1,70 @@
+// Ground-truth target trajectories.
+//
+// The paper's evaluation target "crosses the surveillance field from the
+// start point (0, 100) with a constant speed 3 m/s. At each time step of
+// 1 s, the target turns a random angle bounded by [-15deg, +15deg]."
+// RandomTurnTrajectoryGenerator reproduces exactly that process; Trajectory
+// stores the sampled states and supports interpolation, so filters that run
+// with a larger iteration step (the distributed filters use 5 s) can query
+// truth at their own instants.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geom/shapes.hpp"
+#include "geom/vec2.hpp"
+#include "random/rng.hpp"
+#include "tracking/state.hpp"
+
+namespace cdpf::tracking {
+
+/// A time-stamped sequence of ground-truth states with a fixed step.
+class Trajectory {
+ public:
+  Trajectory(std::vector<TargetState> states, double dt);
+
+  std::size_t size() const { return states_.size(); }
+  double dt() const { return dt_; }
+  /// Total duration covered, (size()-1) * dt.
+  double duration() const;
+
+  const TargetState& at_step(std::size_t k) const;
+  const std::vector<TargetState>& states() const { return states_; }
+
+  /// Linear interpolation of position/velocity at an arbitrary time within
+  /// [0, duration()]. Clamped at the ends.
+  TargetState at_time(double t) const;
+
+ private:
+  std::vector<TargetState> states_;
+  double dt_;
+};
+
+struct RandomTurnConfig {
+  geom::Vec2 start{0.0, 100.0};      // paper: (0, 100)
+  double initial_heading_rad = 0.0;  // due +x, crossing the field
+  double speed = 3.0;                // m/s
+  double max_turn_rad = 0.2617993877991494;  // 15 degrees
+  double dt = 1.0;                   // s
+  std::size_t num_steps = 50;        // paper: 50 steps
+
+  /// When set, the target steers to stay inside this box: if the sampled
+  /// turn would take it outside, the turn is replaced by the legal turn
+  /// (within ±max_turn) that brings the next position closest to the box
+  /// center. The paper's example trajectory (Fig. 4) stays well inside the
+  /// field; without steering, the unbounded heading random walk regularly
+  /// exits the sensor field, after which no algorithm can observe the
+  /// target. Steering is best-effort: overshoot beyond the box is bounded
+  /// by the turn radius (~11.5 m at 3 m/s and 15 deg/s), so the default
+  /// 15 m margin keeps the target inside the 200 m field.
+  std::optional<geom::Aabb> steer_within = geom::Aabb{{15.0, 15.0}, {185.0, 185.0}};
+};
+
+/// Generates the paper's random-turn trajectory: constant speed, per-step
+/// heading change uniform in [-max_turn, +max_turn]. The produced Trajectory
+/// has num_steps + 1 states (including the start).
+Trajectory generate_random_turn_trajectory(const RandomTurnConfig& config, rng::Rng& rng);
+
+}  // namespace cdpf::tracking

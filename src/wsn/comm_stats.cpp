@@ -1,0 +1,38 @@
+#include "wsn/comm_stats.hpp"
+
+#include <sstream>
+
+namespace cdpf::wsn {
+
+std::string_view message_kind_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kParticle: return "particle";
+    case MessageKind::kMeasurement: return "measurement";
+    case MessageKind::kWeight: return "weight";
+    case MessageKind::kAggregate: return "aggregate";
+    case MessageKind::kControl: return "control";
+    case MessageKind::kEstimate: return "estimate";
+  }
+  return "?";
+}
+
+std::string CommStats::summary() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < kNumMessageKinds; ++i) {
+    const auto kind = static_cast<MessageKind>(i);
+    if (messages(kind) == 0) {
+      continue;
+    }
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    os << message_kind_name(kind) << ": " << messages(kind) << " msg / " << bytes(kind)
+       << " B";
+  }
+  os << " (total " << total_messages() << " msg / " << total_bytes() << " B)";
+  return os.str();
+}
+
+}  // namespace cdpf::wsn

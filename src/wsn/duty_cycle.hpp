@@ -1,0 +1,71 @@
+// Duty cycling and sleep scheduling.
+//
+// Two mechanisms from the paper:
+//  * DutyCycleSchedule — periodic, per-node-phased duty cycling (Gu & He
+//    style "extremely low duty-cycle" networks): a node is awake for
+//    `awake_fraction` of each `period`, with a deterministic phase derived
+//    from its id. Deterministic phases are exactly the "anticipatable sleep
+//    pattern" CDPF-NE relies on (Section V-D); the random variant breaks
+//    that anticipation and is used by the robustness ablation.
+//  * TdssScheduler — the proactive wake-up of the paper's Section III-C
+//    ("TDSS", Jiang et al. IPDPS'08): nodes around the predicted target
+//    position are woken before the target arrives so they can receive
+//    propagated particles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "random/rng.hpp"
+#include "wsn/network.hpp"
+#include "wsn/radio.hpp"
+
+namespace cdpf::wsn {
+
+class DutyCycleSchedule {
+ public:
+  /// `period` seconds per cycle, awake for `awake_fraction` of it. When
+  /// `random_phase_seed` is nonzero, phases are randomized (unanticipatable
+  /// sleep pattern); otherwise the phase is a deterministic hash of the id.
+  DutyCycleSchedule(double period, double awake_fraction,
+                    std::uint64_t random_phase_seed = 0);
+
+  double period() const { return period_; }
+  double awake_fraction() const { return awake_fraction_; }
+
+  /// Is `node` scheduled awake at time `t`?
+  bool is_awake(NodeId node, double t) const;
+
+  /// Phase offset in [0, period) for `node`.
+  double phase(NodeId node) const;
+
+  /// Apply the schedule to every alive node of `network` at time `t`
+  /// (nodes woken by TDSS overrides should be re-applied afterwards).
+  void apply(Network& network, double t) const;
+
+ private:
+  double period_;
+  double awake_fraction_;
+  std::uint64_t seed_;
+};
+
+/// Proactive wake-up around the predicted target position. Wake-up control
+/// messages are charged to the radio when one is provided.
+class TdssScheduler {
+ public:
+  /// Nodes within `wake_radius` of `predicted` are forced awake.
+  TdssScheduler(Network& network, double wake_radius);
+
+  /// Wake the nodes around `predicted`; returns how many transitions from
+  /// asleep to awake occurred. When `radio` is non-null, one broadcast
+  /// control message per waking cluster is charged (the TDSS beacon).
+  std::size_t wake_predicted_area(geom::Vec2 predicted, Radio* radio = nullptr);
+
+ private:
+  Network& network_;
+  double wake_radius_;
+  std::vector<NodeId> scratch_;
+};
+
+}  // namespace cdpf::wsn

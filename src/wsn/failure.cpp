@@ -1,0 +1,38 @@
+#include "wsn/failure.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace cdpf::wsn {
+
+std::size_t FailureInjector::fail_fraction(double fraction, rng::Rng& rng) {
+  CDPF_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0, "fraction must be within [0, 1]");
+  std::size_t killed = 0;
+  for (const Node& n : network_.nodes()) {
+    if (n.alive && rng.bernoulli(fraction)) {
+      network_.set_alive(n.id, false);
+      ++killed;
+    }
+  }
+  return killed;
+}
+
+std::size_t FailureInjector::step_hazard(double rate_per_s, double dt, rng::Rng& rng) {
+  CDPF_CHECK_MSG(rate_per_s >= 0.0, "hazard rate must be non-negative");
+  CDPF_CHECK_MSG(dt >= 0.0, "dt must be non-negative");
+  const double p = 1.0 - std::exp(-rate_per_s * dt);
+  return fail_fraction(p, rng);
+}
+
+std::size_t FailureInjector::alive_count() const {
+  std::size_t alive = 0;
+  for (const Node& n : network_.nodes()) {
+    if (n.alive) {
+      ++alive;
+    }
+  }
+  return alive;
+}
+
+}  // namespace cdpf::wsn

@@ -1,0 +1,31 @@
+// Node-failure injection for the robustness ablation (paper future work #1:
+// "Evaluate CDPF's tolerance to uncertain factors").
+#pragma once
+
+#include <cstddef>
+
+#include "random/rng.hpp"
+#include "wsn/network.hpp"
+
+namespace cdpf::wsn {
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(Network& network) : network_(network) {}
+
+  /// Kill a uniformly random `fraction` of the currently alive nodes.
+  /// Returns the number of nodes killed.
+  std::size_t fail_fraction(double fraction, rng::Rng& rng);
+
+  /// Per-second hazard model: over a step of `dt` seconds each alive node
+  /// independently fails with probability 1 - exp(-rate * dt). Returns the
+  /// number of nodes killed.
+  std::size_t step_hazard(double rate_per_s, double dt, rng::Rng& rng);
+
+  std::size_t alive_count() const;
+
+ private:
+  Network& network_;
+};
+
+}  // namespace cdpf::wsn

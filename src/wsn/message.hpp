@@ -1,0 +1,40 @@
+// Message taxonomy and payload sizing.
+//
+// The paper's cost analysis (Table I) works in terms of three payload
+// quantities on a 32-bit platform: a particle D_p = 16 B (four integers:
+// x, y, x', y'), a measurement D_m = 4 B and a weight D_w = 4 B. Every
+// transmission in the simulator is tagged with a MessageKind so the benches
+// can report the breakdown the analysis predicts.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace cdpf::wsn {
+
+enum class MessageKind : std::uint8_t {
+  kParticle,      // particle state propagated between nodes (D_p per particle)
+  kMeasurement,   // a node's observation shared locally or convergecast (D_m)
+  kWeight,        // particle weight, attached to propagation or aggregated (D_w)
+  kAggregate,     // total-weight broadcast of SDPF's global transceiver
+  kControl,       // wake-up / scheduling / handshake messages
+  kEstimate,      // final state estimate reported to the sink
+};
+inline constexpr std::size_t kNumMessageKinds = 6;
+
+std::string_view message_kind_name(MessageKind kind);
+
+/// Payload sizes in bytes; defaults follow the paper's 32-bit accounting.
+struct PayloadSizes {
+  std::size_t particle = 16;     // D_p: (x, y, x', y') as four 32-bit values
+  std::size_t measurement = 4;   // D_m: one 32-bit value (a bearing)
+  std::size_t weight = 4;        // D_w: one 32-bit value
+  std::size_t control = 4;       // scheduling / handshake payload
+  std::size_t estimate = 8;      // (x, y) of a reported estimate
+
+  /// Quantized-measurement size used by the Coates-style DPF baseline
+  /// (P < D_m in the paper's notation; 1 byte models coarse quantization).
+  std::size_t quantized_measurement = 1;
+};
+
+}  // namespace cdpf::wsn

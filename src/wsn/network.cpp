@@ -1,0 +1,128 @@
+#include "wsn/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace cdpf::wsn {
+
+Network::Network(std::vector<geom::Vec2> positions, NetworkConfig config)
+    : config_(config) {
+  CDPF_CHECK_MSG(!positions.empty(), "a network needs at least one node");
+  CDPF_CHECK_MSG(config_.sensing_radius > 0.0, "sensing radius must be positive");
+  CDPF_CHECK_MSG(config_.comm_radius > 0.0, "communication radius must be positive");
+
+  nodes_.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    CDPF_CHECK_MSG(config_.field.contains(positions[i]),
+                   "node position outside the deployment field");
+    nodes_.push_back(Node{static_cast<NodeId>(i), positions[i]});
+  }
+
+  // Cell size near the sensing radius keeps both detection queries (r_s) and
+  // radio queries (r_c, a few cells) efficient.
+  index_ = std::make_unique<geom::GridIndex>(std::span<const geom::Vec2>(positions),
+                                             config_.field, config_.sensing_radius);
+
+  const geom::Vec2 center = config_.field.center();
+  double best = std::numeric_limits<double>::infinity();
+  for (const Node& n : nodes_) {
+    const double d2 = geom::distance_squared(n.position, center);
+    if (d2 < best) {
+      best = d2;
+      sink_ = n.id;
+    }
+  }
+}
+
+double Network::density_per_100m2() const {
+  return static_cast<double>(nodes_.size()) * 100.0 / config_.field.area();
+}
+
+const Node& Network::node(NodeId id) const {
+  CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+geom::Vec2 Network::position(NodeId id) const {
+  CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  return believed_positions_.empty() ? nodes_[id].position : believed_positions_[id];
+}
+
+void Network::set_believed_positions(std::vector<geom::Vec2> believed) {
+  CDPF_CHECK_MSG(believed.size() == nodes_.size(),
+                 "need one believed position per node");
+  believed_positions_ = std::move(believed);
+}
+
+void Network::set_alive(NodeId id, bool alive) {
+  CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  nodes_[id].alive = alive;
+}
+
+void Network::set_power(NodeId id, PowerState state) {
+  CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  nodes_[id].power = state;
+}
+
+void Network::reset_runtime_state() {
+  for (Node& n : nodes_) {
+    n.alive = true;
+    n.power = PowerState::kAwake;
+  }
+}
+
+std::size_t Network::nodes_within(geom::Vec2 center, double radius,
+                                  std::vector<NodeId>& out) const {
+  out.clear();
+  index_->visit_disk(center, radius,
+                     [&out](std::size_t id) { out.push_back(static_cast<NodeId>(id)); });
+  return out.size();
+}
+
+std::vector<NodeId> Network::nodes_within(geom::Vec2 center, double radius) const {
+  std::vector<NodeId> out;
+  nodes_within(center, radius, out);
+  return out;
+}
+
+std::size_t Network::active_nodes_within(geom::Vec2 center, double radius,
+                                         std::vector<NodeId>& out) const {
+  out.clear();
+  index_->visit_disk(center, radius, [this, &out](std::size_t id) {
+    if (nodes_[id].active()) {
+      out.push_back(static_cast<NodeId>(id));
+    }
+  });
+  return out.size();
+}
+
+std::vector<NodeId> Network::detecting_nodes(geom::Vec2 target) const {
+  std::vector<NodeId> out;
+  active_nodes_within(target, config_.sensing_radius, out);
+  return out;
+}
+
+std::vector<NodeId> Network::comm_neighbors(NodeId id) const {
+  const Node& self = node(id);
+  std::vector<NodeId> out;
+  active_nodes_within(self.position, config_.comm_radius, out);
+  std::erase(out, id);
+  return out;
+}
+
+double Network::average_comm_degree() const {
+  if (nodes_.empty()) {
+    return 0.0;
+  }
+  std::size_t total = 0;
+  std::vector<NodeId> scratch;
+  for (const Node& n : nodes_) {
+    active_nodes_within(n.position, config_.comm_radius, scratch);
+    total += scratch.size() - (n.active() ? 1 : 0);
+  }
+  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+}
+
+}  // namespace cdpf::wsn

@@ -1,0 +1,94 @@
+// The deployed sensor network: node table, radii, spatial queries, and the
+// mutable runtime state (alive / power) of every node.
+//
+// The network also designates a *sink* (the node nearest the field center;
+// CPF convergecasts measurements to it) and can host a *global transceiver*
+// (SDPF's one-hop-from-everyone aggregation device, modelled as an abstract
+// endpoint rather than a node because the paper's SDPF assumes it can reach
+// all nodes directly).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "geom/grid_index.hpp"
+#include "geom/shapes.hpp"
+#include "geom/vec2.hpp"
+#include "wsn/node.hpp"
+
+namespace cdpf::wsn {
+
+struct NetworkConfig {
+  geom::Aabb field = geom::Aabb::square(200.0);  // paper: 200 m x 200 m
+  double sensing_radius = 10.0;                  // paper: 10 m
+  double comm_radius = 30.0;                     // paper: 30 m
+
+  /// True when the paper's overhearing assumption r_s <= r_c / 2 holds.
+  bool overhearing_assumption_holds() const {
+    return sensing_radius <= comm_radius / 2.0;
+  }
+};
+
+class Network {
+ public:
+  Network(std::vector<geom::Vec2> positions, NetworkConfig config);
+
+  const NetworkConfig& config() const { return config_; }
+  std::size_t size() const { return nodes_.size(); }
+  double density_per_100m2() const;
+
+  const Node& node(NodeId id) const;
+  /// The position the ALGORITHMS use — the node's belief about where it is
+  /// (exact by default; a localization pass may replace it with estimates).
+  geom::Vec2 position(NodeId id) const;
+  /// The physical position — what detection and radio propagation obey.
+  geom::Vec2 true_position(NodeId id) const { return node(id).position; }
+  /// Install believed positions (one per node), e.g. from wsn::localize().
+  /// Spatial queries still run on the true positions (radio and sensing are
+  /// physical); only the coordinates the algorithms read change.
+  void set_believed_positions(std::vector<geom::Vec2> believed);
+  /// Restore believed == true positions.
+  void clear_believed_positions() { believed_positions_.clear(); }
+  bool has_believed_positions() const { return !believed_positions_.empty(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Node nearest the field center; CPF's computational center.
+  NodeId sink() const { return sink_; }
+
+  // -- Runtime state ------------------------------------------------------
+  void set_alive(NodeId id, bool alive);
+  void set_power(NodeId id, PowerState state);
+  bool is_active(NodeId id) const { return node(id).active(); }
+  /// Reset every node to alive + awake.
+  void reset_runtime_state();
+
+  // -- Spatial queries (include inactive nodes; callers filter) -----------
+  /// Ids of all nodes within `radius` of `center`.
+  std::size_t nodes_within(geom::Vec2 center, double radius,
+                           std::vector<NodeId>& out) const;
+  std::vector<NodeId> nodes_within(geom::Vec2 center, double radius) const;
+
+  /// Ids of *active* nodes within `radius` of `center`.
+  std::size_t active_nodes_within(geom::Vec2 center, double radius,
+                                  std::vector<NodeId>& out) const;
+
+  /// Active nodes whose sensing disk contains `target` — the detecting set
+  /// under the instant-detection model.
+  std::vector<NodeId> detecting_nodes(geom::Vec2 target) const;
+
+  /// Active one-hop communication neighbors of `id` (excluding `id`).
+  std::vector<NodeId> comm_neighbors(NodeId id) const;
+
+  /// Average number of active comm neighbors (connectivity diagnostic).
+  double average_comm_degree() const;
+
+ private:
+  NetworkConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<geom::Vec2> believed_positions_;  // empty => believed == true
+  std::unique_ptr<geom::GridIndex> index_;
+  NodeId sink_ = kInvalidNodeId;
+};
+
+}  // namespace cdpf::wsn

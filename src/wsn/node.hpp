@@ -1,0 +1,36 @@
+// Sensor node model.
+//
+// Nodes are static (positions known a priori via GPS or localization, per
+// the paper's network model) and carry two radii: a sensing radius r_s and a
+// communication radius r_c. The paper's key geometric assumption is
+// r_s <= r_c / 2, which makes overhearing-based weight aggregation complete;
+// NetworkConfig validates but does not force it, because one ablation bench
+// explores what happens when the assumption is violated.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec2.hpp"
+
+namespace cdpf::wsn {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNodeId = static_cast<NodeId>(-1);
+
+/// Power state of a duty-cycled node.
+enum class PowerState : std::uint8_t {
+  kAwake,   // radio on: can transmit, receive and sense
+  kAsleep,  // radio off: misses transmissions, does not sense
+};
+
+struct Node {
+  NodeId id = kInvalidNodeId;
+  geom::Vec2 position;
+  bool alive = true;
+  PowerState power = PowerState::kAwake;
+
+  /// A node participates in sensing/communication only when alive and awake.
+  bool active() const { return alive && power == PowerState::kAwake; }
+};
+
+}  // namespace cdpf::wsn

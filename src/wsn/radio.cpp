@@ -1,0 +1,80 @@
+#include "wsn/radio.hpp"
+
+#include "support/check.hpp"
+
+namespace cdpf::wsn {
+
+Radio::Radio(Network& network, PayloadSizes payloads, EnergyModel* energy)
+    : network_(network), payloads_(payloads), energy_(energy) {}
+
+bool Radio::in_range(NodeId u, NodeId v) const {
+  const double rc = network_.config().comm_radius;
+  return geom::distance_squared(network_.position(u), network_.position(v)) <= rc * rc;
+}
+
+bool Radio::interferes(NodeId tx, NodeId src, NodeId rx, double guard) const {
+  CDPF_CHECK_MSG(guard >= 0.0, "interference guard must be non-negative");
+  const double d_tx = geom::distance(network_.position(tx), network_.position(rx));
+  const double d_src = geom::distance(network_.position(src), network_.position(rx));
+  return d_tx <= (1.0 + guard) * d_src;
+}
+
+void Radio::broadcast(NodeId from, MessageKind kind, std::size_t payload_bytes,
+                      std::vector<NodeId>& out) {
+  CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
+  network_.active_nodes_within(network_.position(from), network_.config().comm_radius,
+                               out);
+  std::erase(out, from);
+  stats_.record(kind, payload_bytes, out.size());
+  if (energy_ != nullptr) {
+    energy_->charge_tx(from, payload_bytes, network_.config().comm_radius);
+    for (const NodeId receiver : out) {
+      energy_->charge_rx(receiver, payload_bytes);
+    }
+  }
+}
+
+std::vector<NodeId> Radio::broadcast(NodeId from, MessageKind kind,
+                                     std::size_t payload_bytes) {
+  std::vector<NodeId> out;
+  broadcast(from, kind, payload_bytes, out);
+  return out;
+}
+
+bool Radio::unicast(NodeId from, NodeId to, MessageKind kind, std::size_t payload_bytes) {
+  CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
+  if (!network_.is_active(to) || !in_range(from, to)) {
+    return false;
+  }
+  stats_.record(kind, payload_bytes, 1);
+  if (energy_ != nullptr) {
+    energy_->charge_tx(from, payload_bytes,
+                       geom::distance(network_.position(from), network_.position(to)));
+    energy_->charge_rx(to, payload_bytes);
+  }
+  return true;
+}
+
+void Radio::transceiver_broadcast(MessageKind kind, std::size_t payload_bytes) {
+  std::size_t receivers = 0;
+  for (const Node& n : network_.nodes()) {
+    if (n.active()) {
+      ++receivers;
+      if (energy_ != nullptr) {
+        energy_->charge_rx(n.id, payload_bytes);
+      }
+    }
+  }
+  stats_.record(kind, payload_bytes, receivers);
+}
+
+void Radio::send_to_transceiver(NodeId from, MessageKind kind,
+                                std::size_t payload_bytes) {
+  CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
+  stats_.record(kind, payload_bytes, 1);
+  if (energy_ != nullptr) {
+    energy_->charge_tx(from, payload_bytes, network_.config().comm_radius);
+  }
+}
+
+}  // namespace cdpf::wsn

@@ -1,0 +1,67 @@
+// Protocol-model radio (Gupta & Kumar): reception depends only on Euclidean
+// distance — a transmission from node u is received by every *active* node
+// within the communication radius r_c, including nodes the sender did not
+// address (the overhearing effect CDPF exploits for weight aggregation).
+//
+// The simulator models a single-target tracking workload where transmissions
+// are locally serialized (TDMA-style), so concurrent-interference collisions
+// are not simulated; the interference predicate of the protocol model is
+// still exposed for the tests and for future multi-target workloads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wsn/comm_stats.hpp"
+#include "wsn/energy.hpp"
+#include "wsn/message.hpp"
+#include "wsn/network.hpp"
+
+namespace cdpf::wsn {
+
+class Radio {
+ public:
+  /// `energy` may be nullptr when energy accounting is not needed.
+  Radio(Network& network, PayloadSizes payloads, EnergyModel* energy = nullptr);
+
+  const PayloadSizes& payloads() const { return payloads_; }
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+  /// Can u and v communicate directly under the protocol model?
+  bool in_range(NodeId u, NodeId v) const;
+
+  /// Would a transmission from `tx` interfere at receiver `rx` listening to
+  /// `src`? Protocol model: yes when |tx - rx| <= (1 + guard) * |src - rx|.
+  bool interferes(NodeId tx, NodeId src, NodeId rx, double guard = 0.1) const;
+
+  /// Broadcast `payload_bytes` from `from`; every active node within r_c
+  /// (excluding the sender) receives it. Returns the receiver set and
+  /// records one message + payload bytes + reception count.
+  std::vector<NodeId> broadcast(NodeId from, MessageKind kind, std::size_t payload_bytes);
+
+  /// Reuse-friendly variant writing receivers into `out`.
+  void broadcast(NodeId from, MessageKind kind, std::size_t payload_bytes,
+                 std::vector<NodeId>& out);
+
+  /// One-hop unicast; requires the receiver to be active and in range.
+  /// Returns false (recording nothing) when the link does not exist.
+  bool unicast(NodeId from, NodeId to, MessageKind kind, std::size_t payload_bytes);
+
+  /// Transmission from an out-of-band global transceiver (SDPF): reaches
+  /// every active node in the network in one hop by assumption.
+  void transceiver_broadcast(MessageKind kind, std::size_t payload_bytes);
+
+  /// Transmission from a node *to* the global transceiver (always in range
+  /// by the SDPF assumption).
+  void send_to_transceiver(NodeId from, MessageKind kind, std::size_t payload_bytes);
+
+ private:
+  Network& network_;
+  PayloadSizes payloads_;
+  CommStats stats_;
+  EnergyModel* energy_;
+  std::vector<NodeId> scratch_;
+};
+
+}  // namespace cdpf::wsn

@@ -1,0 +1,232 @@
+// Behavioral unit tests for the tracker algorithms (CPF/DPF/SDPF/CDPF/
+// CDPF-NE) on small controlled scenarios.
+#include <gtest/gtest.h>
+
+#include "core/cdpf.hpp"
+#include "core/cpf.hpp"
+#include "core/sdpf.hpp"
+#include "geom/angles.hpp"
+#include "random/rng.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/radio.hpp"
+
+namespace cdpf::core {
+namespace {
+
+struct Fixture {
+  explicit Fixture(std::uint64_t seed, std::size_t nodes = 8000)
+      : rng(seed),
+        network(wsn::deploy_uniform_random(nodes, geom::Aabb::square(200.0), rng),
+                wsn::NetworkConfig{geom::Aabb::square(200.0), 10.0, 30.0}),
+        radio(network, wsn::PayloadSizes{}) {}
+
+  rng::Rng rng;
+  wsn::Network network;
+  wsn::Radio radio;
+};
+
+tracking::TargetState truth_at(double t) {
+  return {{100.0 + 3.0 * t, 100.0}, {3.0, 0.0}};
+}
+
+TEST(Cdpf, NamesReflectVariant) {
+  Fixture f(701, 500);
+  CdpfConfig config;
+  Cdpf plain(f.network, f.radio, config);
+  EXPECT_EQ(plain.name(), "CDPF");
+  config.use_neighborhood_estimation = true;
+  Cdpf ne(f.network, f.radio, config);
+  EXPECT_EQ(ne.name(), "CDPF-NE");
+  EXPECT_DOUBLE_EQ(plain.time_step(), 5.0);
+}
+
+TEST(Cdpf, InitializationSeedsDetectingNodesWithoutEstimate) {
+  Fixture f(703);
+  Cdpf filter(f.network, f.radio, CdpfConfig{});
+  filter.iterate(truth_at(-50.0), 0.0, f.rng);  // target far outside the field
+  EXPECT_TRUE(filter.particles().empty());
+  EXPECT_TRUE(filter.take_estimates().empty());
+
+  filter.iterate(truth_at(0.0), 5.0, f.rng);
+  EXPECT_FALSE(filter.particles().empty());
+  // Hosts are exactly nodes within the sensing radius of the target.
+  for (const auto& [host, p] : filter.particles().by_host()) {
+    EXPECT_LE(geom::distance(f.network.position(host), truth_at(0.0).position), 10.0);
+  }
+  EXPECT_TRUE(filter.take_estimates().empty());  // estimates lag one iteration
+}
+
+TEST(Cdpf, CorrectionProducesLaggedEstimates) {
+  Fixture f(705);
+  Cdpf filter(f.network, f.radio, CdpfConfig{});
+  filter.iterate(truth_at(0.0), 0.0, f.rng);
+  filter.iterate(truth_at(5.0), 5.0, f.rng);
+  const auto estimates = filter.take_estimates();
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_DOUBLE_EQ(estimates[0].time, 0.0);  // estimate refers to iteration k
+  EXPECT_LT(geom::distance(estimates[0].state.position, truth_at(0.0).position), 6.0);
+  EXPECT_TRUE(filter.predicted_position().has_value());
+}
+
+TEST(Cdpf, FinalizeFlushesLastIterationEstimate) {
+  Fixture f(707);
+  Cdpf filter(f.network, f.radio, CdpfConfig{});
+  filter.iterate(truth_at(0.0), 0.0, f.rng);
+  filter.iterate(truth_at(5.0), 5.0, f.rng);
+  filter.take_estimates();
+  filter.finalize();
+  const auto final_estimates = filter.take_estimates();
+  ASSERT_EQ(final_estimates.size(), 1u);
+  EXPECT_DOUBLE_EQ(final_estimates[0].time, 5.0);
+}
+
+TEST(Cdpf, TracksConstantVelocityTargetClosely) {
+  Fixture f(709);
+  Cdpf filter(f.network, f.radio, CdpfConfig{});
+  for (int k = 0; k <= 6; ++k) {
+    filter.iterate(truth_at(5.0 * k), 5.0 * k, f.rng);
+  }
+  filter.finalize();
+  const auto estimates = filter.take_estimates();
+  ASSERT_GE(estimates.size(), 5u);
+  for (const TimedEstimate& e : estimates) {
+    const double t = e.time;
+    EXPECT_LT(geom::distance(e.state.position, truth_at(t).position), 5.0)
+        << "at t=" << t;
+  }
+}
+
+TEST(Cdpf, NeVariantUsesNoMeasurementMessages) {
+  Fixture f(711);
+  CdpfConfig config;
+  config.use_neighborhood_estimation = true;
+  Cdpf filter(f.network, f.radio, config);
+  for (int k = 0; k <= 4; ++k) {
+    filter.iterate(truth_at(5.0 * k), 5.0 * k, f.rng);
+  }
+  EXPECT_EQ(f.radio.stats().messages(wsn::MessageKind::kMeasurement), 0u);
+  EXPECT_GT(f.radio.stats().messages(wsn::MessageKind::kParticle), 0u);
+}
+
+TEST(Cdpf, ReportToSinkChargesEstimateMessages) {
+  Fixture f(713);
+  CdpfConfig config;
+  config.report_estimates_to_sink = true;
+  Cdpf filter(f.network, f.radio, config);
+  // Track far from the sink (field center) so reporting needs >= 1 hop.
+  const tracking::TargetState t0{{30.0, 40.0}, {3.0, 0.0}};
+  const tracking::TargetState t1{{45.0, 40.0}, {3.0, 0.0}};
+  filter.iterate(t0, 0.0, f.rng);
+  filter.iterate(t1, 5.0, f.rng);
+  EXPECT_GT(f.radio.stats().messages(wsn::MessageKind::kEstimate), 0u);
+}
+
+TEST(Cdpf, RecoversAfterTotalNodeFailureAroundTarget) {
+  Fixture f(715);
+  Cdpf filter(f.network, f.radio, CdpfConfig{});
+  filter.iterate(truth_at(0.0), 0.0, f.rng);
+  // Kill every current host: the next propagation loses all particles and
+  // the filter must reinitialize from detections.
+  for (const auto& [host, p] : filter.particles().by_host()) {
+    f.network.set_alive(host, false);
+  }
+  filter.iterate(truth_at(5.0), 5.0, f.rng);
+  EXPECT_FALSE(filter.particles().empty());
+  filter.iterate(truth_at(10.0), 10.0, f.rng);
+  filter.finalize();
+  const auto estimates = filter.take_estimates();
+  ASSERT_FALSE(estimates.empty());
+  const TimedEstimate& last = estimates.back();
+  EXPECT_LT(geom::distance(last.state.position, truth_at(last.time).position), 8.0);
+}
+
+TEST(Sdpf, SeedsEightParticlesPerDetectingNode) {
+  Fixture f(717);
+  Sdpf filter(f.network, f.radio, SdpfConfig{});
+  const auto truth = truth_at(0.0);
+  filter.iterate(truth, 0.0, f.rng);
+  const std::size_t detecting = f.network.detecting_nodes(truth.position).size();
+  EXPECT_EQ(filter.particles().particle_count(), 8 * detecting);
+  // All particle positions coincide with their host node ("motes as
+  // particles").
+  for (const auto& [host, list] : filter.particles().by_host()) {
+    for (const auto& p : list) {
+      EXPECT_EQ(p.state.position, f.network.position(host));
+    }
+  }
+}
+
+TEST(Sdpf, EstimatesEveryIteration) {
+  Fixture f(719);
+  Sdpf filter(f.network, f.radio, SdpfConfig{});
+  for (int k = 0; k <= 4; ++k) {
+    filter.iterate(truth_at(5.0 * k), 5.0 * k, f.rng);
+  }
+  const auto estimates = filter.take_estimates();
+  EXPECT_EQ(estimates.size(), 5u);
+  for (const TimedEstimate& e : estimates) {
+    EXPECT_LT(geom::distance(e.state.position, truth_at(e.time).position), 6.0);
+  }
+}
+
+TEST(Sdpf, UsesGlobalTransceiverEveryIteration) {
+  Fixture f(721);
+  Sdpf filter(f.network, f.radio, SdpfConfig{});
+  for (int k = 0; k <= 2; ++k) {
+    filter.iterate(truth_at(5.0 * k), 5.0 * k, f.rng);
+  }
+  // One query + one total broadcast per iteration.
+  EXPECT_EQ(f.radio.stats().messages(wsn::MessageKind::kControl), 3u);
+  EXPECT_EQ(f.radio.stats().messages(wsn::MessageKind::kAggregate), 3u);
+}
+
+TEST(Cpf, EstimatesAtEveryStepOnceInitialized) {
+  Fixture f(723, 4000);
+  CentralizedPf filter(f.network, f.radio, CpfConfig{});
+  EXPECT_EQ(filter.name(), "CPF");
+  EXPECT_DOUBLE_EQ(filter.time_step(), 1.0);
+  for (int k = 0; k <= 10; ++k) {
+    filter.iterate(truth_at(static_cast<double>(k)), static_cast<double>(k), f.rng);
+  }
+  const auto estimates = filter.take_estimates();
+  EXPECT_EQ(estimates.size(), 11u);
+  // After convergence the error is small.
+  const TimedEstimate& last = estimates.back();
+  EXPECT_LT(geom::distance(last.state.position, truth_at(last.time).position), 3.0);
+}
+
+TEST(Cpf, QuantizationMapsToBinCenters) {
+  Fixture f(725, 500);
+  CpfConfig config;
+  config.quantization_levels = 4;  // bins of pi/2
+  CentralizedPf filter(f.network, f.radio, config);
+  EXPECT_EQ(filter.name(), "DPF");
+  // Bin centers at -3pi/4, -pi/4, +pi/4, +3pi/4.
+  EXPECT_NEAR(filter.quantize(0.1), geom::kPi / 4.0, 1e-12);
+  EXPECT_NEAR(filter.quantize(-0.1), -geom::kPi / 4.0, 1e-12);
+  EXPECT_NEAR(filter.quantize(3.0), 3.0 * geom::kPi / 4.0, 1e-12);
+  EXPECT_NEAR(geom::angle_distance(filter.quantize(geom::kPi), 3.0 * geom::kPi / 4.0),
+              0.0, 1e-12);
+}
+
+TEST(Cpf, NoEstimateBeforeFirstDetection) {
+  Fixture f(727, 500);
+  CentralizedPf filter(f.network, f.radio, CpfConfig{});
+  filter.iterate({{-50.0, 100.0}, {3.0, 0.0}}, 0.0, f.rng);  // outside field
+  EXPECT_TRUE(filter.take_estimates().empty());
+  EXPECT_EQ(f.radio.stats().total_messages(), 0u);
+}
+
+TEST(Cpf, PredictsThroughDetectionGaps) {
+  Fixture f(729);
+  CentralizedPf filter(f.network, f.radio, CpfConfig{});
+  filter.iterate(truth_at(0.0), 0.0, f.rng);
+  // Target "disappears" (outside field): the filter keeps predicting and
+  // still emits an estimate.
+  filter.iterate({{-50.0, -50.0}, {0.0, 0.0}}, 1.0, f.rng);
+  const auto estimates = filter.take_estimates();
+  EXPECT_EQ(estimates.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cdpf::core

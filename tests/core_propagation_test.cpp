@@ -1,0 +1,253 @@
+// Tests for particle propagation: the division/combination rules of §III-B
+// and the overhearing-completeness property that makes CDPF's correction
+// step possible (§IV-A).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/propagation.hpp"
+#include "random/rng.hpp"
+#include "support/check.hpp"
+#include "tracking/motion_model.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/radio.hpp"
+
+namespace cdpf::core {
+namespace {
+
+wsn::NetworkConfig paper_config(double sensing = 10.0, double comm = 30.0) {
+  return wsn::NetworkConfig{geom::Aabb::square(200.0), sensing, comm};
+}
+
+tracking::ConstantVelocityModel quiet_motion(double dt = 5.0) {
+  return tracking::ConstantVelocityModel(dt, 1e-9, 1e-9);
+}
+
+PropagationConfig prop_config() {
+  PropagationConfig config;
+  config.record_radius = 10.0;
+  config.fallback_to_nearest = false;
+  config.velocity_from_displacement = false;
+  return config;
+}
+
+TEST(Propagation, WeightIsConservedThroughDivision) {
+  // Dense deployment so the predicted area certainly contains recorders.
+  rng::Rng rng(501);
+  const auto positions = wsn::deploy_uniform_random(4000, geom::Aabb::square(200.0), rng);
+  wsn::Network net(positions, paper_config());
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+
+  ParticleStore store;
+  const auto hosts = net.nodes_within({100.0, 100.0}, 10.0);
+  ASSERT_GE(hosts.size(), 3u);
+  double total_in = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    store.add(hosts[i], {3.0, 0.0}, 1.0 + static_cast<double>(i));
+    total_in += 1.0 + static_cast<double>(i);
+  }
+
+  const auto outcome =
+      propagate_particles(store, net, radio, quiet_motion(), prop_config(), rng);
+  EXPECT_EQ(outcome.lost_particles, 0u);
+  EXPECT_NEAR(outcome.next.total_weight(), total_in, 1e-9);
+  EXPECT_NEAR(outcome.global.total_weight, total_in, 1e-12);
+}
+
+TEST(Propagation, DivisionFollowsLinearProbabilityRatios) {
+  // One broadcaster, hand-placed recorders at known distances from the
+  // predicted position: weights must divide as (1 - d/r) ratios.
+  std::vector<geom::Vec2> positions{
+      {100.0, 100.0},   // host; velocity (2,0), dt 5 => predicted (110, 100)
+      {110.0, 100.0},   // d = 0  => p = 1
+      {110.0, 105.0},   // d = 5  => p = 0.5
+      {110.0, 108.0},   // d = 8  => p = 0.2
+      {110.0, 115.0}};  // d = 15 => outside predicted area
+  wsn::Network net(positions, paper_config());
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+  ParticleStore store;
+  store.add(0, {2.0, 0.0}, 1.7);
+
+  rng::Rng rng(503);
+  const auto outcome =
+      propagate_particles(store, net, radio, quiet_motion(), prop_config(), rng);
+  EXPECT_FALSE(outcome.next.contains(4));
+  const double p_sum = 1.0 + 0.5 + 0.2;
+  ASSERT_TRUE(outcome.next.contains(1));
+  ASSERT_TRUE(outcome.next.contains(2));
+  ASSERT_TRUE(outcome.next.contains(3));
+  EXPECT_NEAR(outcome.next.find(1)->weight, 1.7 * 1.0 / p_sum, 1e-9);
+  EXPECT_NEAR(outcome.next.find(2)->weight, 1.7 * 0.5 / p_sum, 1e-9);
+  EXPECT_NEAR(outcome.next.find(3)->weight, 1.7 * 0.2 / p_sum, 1e-9);
+  // Rule 1: total preserved. Rule 2: ratios follow the linear model.
+  EXPECT_NEAR(outcome.next.total_weight(), 1.7, 1e-9);
+}
+
+TEST(Propagation, OverlappingPredictedAreasCombineOnSharedRecorder) {
+  std::vector<geom::Vec2> positions{
+      {100.0, 100.0},  // host A, predicted (110, 100)
+      {120.0, 100.0},  // host B, velocity (-2, 0), predicted (110, 100)
+      {110.0, 100.0}}; // the only node in both predicted areas
+  wsn::Network net(positions, paper_config());
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+  ParticleStore store;
+  store.add(0, {2.0, 0.0}, 1.0);
+  store.add(1, {-2.0, 0.0}, 2.0);
+
+  rng::Rng rng(505);
+  PropagationConfig config = prop_config();
+  const auto outcome =
+      propagate_particles(store, net, radio, quiet_motion(), config, rng);
+  // Both particles land on node 2... but also on each other's host? Host A
+  // at (100,100) is 10 m from predicted (110,100): p = 0 (boundary). So the
+  // sole recorder is node 2, holding the combined weight.
+  ASSERT_TRUE(outcome.next.contains(2));
+  EXPECT_NEAR(outcome.next.find(2)->weight, 3.0, 1e-9);
+  EXPECT_EQ(outcome.next.size(), 1u);
+}
+
+TEST(Propagation, OverhearingIsCompleteUnderPaperAssumption) {
+  // r_s <= r_c / 2 plus the paper's "propagation does not reach too far"
+  // caveat (§IV-A): with hosts spread over a 10 m disk, 3 m of per-step
+  // travel (dt = 1 s) and a 10 m record radius, every recorder is within
+  // 10 + 10 + 3 = 23 m <= r_c of every broadcaster, so each recorder's
+  // overheard total equals the global total.
+  rng::Rng rng(507);
+  const auto positions = wsn::deploy_uniform_random(8000, geom::Aabb::square(200.0), rng);
+  wsn::Network net(positions, paper_config(10.0, 30.0));
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+
+  ParticleStore store;
+  for (const wsn::NodeId id : net.nodes_within({100.0, 100.0}, 5.0)) {
+    store.add(id, {3.0, 0.0}, 1.0);
+  }
+  ASSERT_GT(store.size(), 5u);
+
+  const auto outcome =
+      propagate_particles(store, net, radio, quiet_motion(1.0), prop_config(), rng);
+  ASSERT_GT(outcome.next.size(), 0u);
+  for (const auto& [recorder, particle] : outcome.next.by_host()) {
+    const auto it = outcome.overheard.find(recorder);
+    ASSERT_NE(it, outcome.overheard.end());
+    EXPECT_NEAR(it->second.total_weight, outcome.global.total_weight, 1e-9)
+        << "recorder " << recorder;
+    EXPECT_EQ(it->second.particles_heard, outcome.global.particles_heard);
+    // The locally overheard estimate matches the global one (Theorem-2-like
+    // consistency of the correction step).
+    const auto local = it->second.estimate();
+    const auto global = outcome.global.estimate();
+    EXPECT_NEAR(geom::distance(local.position, global.position), 0.0, 1e-9);
+  }
+}
+
+TEST(Propagation, OverhearingCanBeIncompleteWhenAssumptionViolated) {
+  // With r_s > r_c / 2 two broadcasters' recorders need not hear each other.
+  rng::Rng rng(509);
+  const auto positions = wsn::deploy_uniform_random(8000, geom::Aabb::square(200.0), rng);
+  wsn::Network net(positions, paper_config(18.0, 30.0));
+  ASSERT_FALSE(net.config().overhearing_assumption_holds());
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+
+  ParticleStore store;
+  // Two hosts 30 m apart moving in opposite directions.
+  const auto near_a = net.nodes_within({70.0, 100.0}, 3.0);
+  const auto near_b = net.nodes_within({130.0, 100.0}, 3.0);
+  ASSERT_FALSE(near_a.empty());
+  ASSERT_FALSE(near_b.empty());
+  store.add(near_a.front(), {-3.0, 0.0}, 1.0);
+  store.add(near_b.front(), {3.0, 0.0}, 1.0);
+
+  PropagationConfig config = prop_config();
+  config.record_radius = 18.0;
+  const auto outcome =
+      propagate_particles(store, net, radio, quiet_motion(), config, rng);
+  std::size_t incomplete = 0;
+  for (const auto& [recorder, particle] : outcome.next.by_host()) {
+    const auto it = outcome.overheard.find(recorder);
+    if (it == outcome.overheard.end() ||
+        it->second.total_weight < outcome.global.total_weight - 1e-9) {
+      ++incomplete;
+    }
+  }
+  EXPECT_GT(incomplete, 0u);
+}
+
+TEST(Propagation, LostParticleWithoutFallback) {
+  // Host alone in a sparse corner: no receiver inside the predicted area.
+  std::vector<geom::Vec2> positions{{10.0, 10.0}, {10.0, 35.0}};
+  wsn::Network net(positions, paper_config());
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+  ParticleStore store;
+  store.add(0, {3.0, 0.0}, 1.0);  // predicted (25, 10); node 1 is 29 m away
+
+  rng::Rng rng(511);
+  PropagationConfig no_fallback = prop_config();
+  auto outcome =
+      propagate_particles(store, net, radio, quiet_motion(), no_fallback, rng);
+  EXPECT_EQ(outcome.lost_particles, 1u);
+  EXPECT_TRUE(outcome.next.empty());
+
+  PropagationConfig with_fallback = prop_config();
+  with_fallback.fallback_to_nearest = true;
+  outcome = propagate_particles(store, net, radio, quiet_motion(), with_fallback, rng);
+  EXPECT_EQ(outcome.lost_particles, 0u);
+  ASSERT_TRUE(outcome.next.contains(1));
+  EXPECT_NEAR(outcome.next.find(1)->weight, 1.0, 1e-12);
+}
+
+TEST(Propagation, InactiveHostLosesItsParticle) {
+  rng::Rng rng(513);
+  const auto positions = wsn::deploy_uniform_random(2000, geom::Aabb::square(200.0), rng);
+  wsn::Network net(positions, paper_config());
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+  ParticleStore store;
+  const auto hosts = net.nodes_within({100.0, 100.0}, 10.0);
+  ASSERT_GE(hosts.size(), 2u);
+  store.add(hosts[0], {3.0, 0.0}, 1.0);
+  store.add(hosts[1], {3.0, 0.0}, 1.0);
+  net.set_alive(hosts[0], false);
+
+  const auto outcome =
+      propagate_particles(store, net, radio, quiet_motion(), prop_config(), rng);
+  EXPECT_EQ(outcome.lost_particles, 1u);
+  EXPECT_NEAR(outcome.global.total_weight, 1.0, 1e-12);
+}
+
+TEST(Propagation, ChargesOneBroadcastPerHost) {
+  rng::Rng rng(515);
+  const auto positions = wsn::deploy_uniform_random(4000, geom::Aabb::square(200.0), rng);
+  wsn::Network net(positions, paper_config());
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+  ParticleStore store;
+  const auto hosts = net.nodes_within({100.0, 100.0}, 10.0);
+  const std::size_t n = std::min<std::size_t>(hosts.size(), 5);
+  for (std::size_t i = 0; i < n; ++i) {
+    store.add(hosts[i], {3.0, 0.0}, 1.0);
+  }
+  propagate_particles(store, net, radio, quiet_motion(), prop_config(), rng);
+  const auto& payloads = radio.payloads();
+  EXPECT_EQ(radio.stats().messages(wsn::MessageKind::kParticle), n);
+  EXPECT_EQ(radio.stats().bytes(wsn::MessageKind::kParticle),
+            n * (payloads.particle + payloads.weight));
+}
+
+TEST(Propagation, DisplacementVelocityPointsAlongHop) {
+  std::vector<geom::Vec2> positions{{100.0, 100.0}, {110.0, 100.0}};
+  wsn::Network net(positions, paper_config());
+  wsn::Radio radio(net, wsn::PayloadSizes{});
+  ParticleStore store;
+  store.add(0, {2.0, 0.0}, 1.0);
+  rng::Rng rng(517);
+  PropagationConfig config = prop_config();
+  config.velocity_from_displacement = true;
+  const auto outcome =
+      propagate_particles(store, net, radio, quiet_motion(), config, rng);
+  ASSERT_TRUE(outcome.next.contains(1));
+  const geom::Vec2 v = outcome.next.find(1)->velocity;
+  // Hop displacement is +x: the recorded heading must be +x, speed ~2.
+  EXPECT_NEAR(v.angle(), 0.0, 1e-6);
+  EXPECT_NEAR(v.norm(), 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace cdpf::core

@@ -1,0 +1,83 @@
+// Unit tests for KLD-sampling (Fox 2003), the adaptive-sample-size
+// technique from the paper's related work.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "filters/kld_sampling.hpp"
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+namespace {
+
+TEST(KldSampling, FormulaMatchesHandComputation) {
+  KldConfig config;
+  config.epsilon = 0.05;
+  config.z_one_minus_delta = 2.326347874;  // delta = 0.01
+  config.min_particles = 1;
+  config.max_particles = 1000000;
+  // k = 2: n = 1/(2*0.05) * (1 - 2/9 + sqrt(2/9) * z)^3.
+  const double a = 2.0 / 9.0;
+  const double base = 1.0 - a + std::sqrt(a) * config.z_one_minus_delta;
+  const auto expected = static_cast<std::size_t>(std::ceil(10.0 * base * base * base));
+  EXPECT_EQ(kld_sample_size(2, config), expected);
+}
+
+TEST(KldSampling, MonotonicInOccupiedBins) {
+  KldConfig config;
+  config.min_particles = 1;
+  std::size_t previous = 0;
+  for (std::size_t k = 2; k < 200; k += 7) {
+    const std::size_t n = kld_sample_size(k, config);
+    EXPECT_GE(n, previous);
+    previous = n;
+  }
+}
+
+TEST(KldSampling, ClampsToConfiguredRange) {
+  KldConfig config;
+  config.min_particles = 50;
+  config.max_particles = 100;
+  EXPECT_EQ(kld_sample_size(0, config), 50u);
+  EXPECT_EQ(kld_sample_size(1, config), 50u);
+  EXPECT_EQ(kld_sample_size(100000, config), 100u);
+}
+
+TEST(KldSampling, RejectsInvalidConfig) {
+  KldConfig config;
+  config.epsilon = 0.0;
+  EXPECT_THROW(kld_sample_size(5, config), Error);
+}
+
+TEST(KldSampling, BinCountingGroupsNearbyParticles) {
+  KldConfig config;
+  config.bin_size_m = 2.0;
+  std::vector<Particle> particles{
+      {{{0.1, 0.1}, {}}, 1.0},  // bin (0,0)
+      {{{1.9, 1.9}, {}}, 1.0},  // bin (0,0)
+      {{{2.1, 0.0}, {}}, 1.0},  // bin (1,0)
+      {{{-0.1, 0.0}, {}}, 1.0}, // bin (-1,0)
+      {{{10.0, 10.0}, {}}, 1.0}};
+  EXPECT_EQ(count_occupied_bins(particles, config), 4u);
+}
+
+TEST(KldSampling, NegativeCoordinatesGetDistinctBins) {
+  KldConfig config;
+  config.bin_size_m = 1.0;
+  std::vector<Particle> particles{{{{-0.5, 0.5}, {}}, 1.0}, {{{0.5, -0.5}, {}}, 1.0}};
+  EXPECT_EQ(count_occupied_bins(particles, config), 2u);
+}
+
+TEST(KldSampling, AdaptiveCountGrowsWithSpread) {
+  KldConfig config;
+  config.min_particles = 10;
+  std::vector<Particle> tight, spread;
+  for (int i = 0; i < 100; ++i) {
+    tight.push_back({{{0.0, 0.0}, {}}, 1.0});
+    spread.push_back({{{static_cast<double>(i) * 5.0, 0.0}, {}}, 1.0});
+  }
+  EXPECT_LT(kld_adaptive_count(tight, config), kld_adaptive_count(spread, config));
+}
+
+}  // namespace
+}  // namespace cdpf::filters

@@ -1,0 +1,77 @@
+// Unit tests for particle-set utilities.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "filters/particle.hpp"
+#include "support/check.hpp"
+
+namespace cdpf::filters {
+namespace {
+
+std::vector<Particle> three_particles() {
+  return {{{{0.0, 0.0}, {1.0, 0.0}}, 1.0},
+          {{{2.0, 0.0}, {0.0, 1.0}}, 2.0},
+          {{{0.0, 3.0}, {1.0, 1.0}}, 1.0}};
+}
+
+TEST(ParticleSet, TotalWeight) {
+  auto p = three_particles();
+  EXPECT_DOUBLE_EQ(total_weight(p), 4.0);
+  EXPECT_DOUBLE_EQ(total_weight(std::vector<Particle>{}), 0.0);
+}
+
+TEST(ParticleSet, NormalizeByExplicitTotal) {
+  auto p = three_particles();
+  normalize_weights(p, 4.0);
+  EXPECT_DOUBLE_EQ(total_weight(p), 1.0);
+  EXPECT_DOUBLE_EQ(p[1].weight, 0.5);
+  EXPECT_THROW(normalize_weights(p, 0.0), Error);
+}
+
+TEST(ParticleSet, NormalizeByComputedTotal) {
+  auto p = three_particles();
+  normalize_weights(p);
+  EXPECT_NEAR(total_weight(p), 1.0, 1e-15);
+}
+
+TEST(ParticleSet, EffectiveSampleSizeBounds) {
+  // Uniform weights: ESS == N. Degenerate: ESS == 1.
+  std::vector<Particle> uniform(10, Particle{{{0.0, 0.0}, {0.0, 0.0}}, 0.1});
+  EXPECT_NEAR(effective_sample_size(uniform), 10.0, 1e-9);
+  std::vector<Particle> degenerate(10, Particle{{{0.0, 0.0}, {0.0, 0.0}}, 0.0});
+  degenerate[3].weight = 1.0;
+  EXPECT_NEAR(effective_sample_size(degenerate), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(effective_sample_size(std::vector<Particle>{}), 0.0);
+}
+
+TEST(ParticleSet, WeightedMeanState) {
+  auto p = three_particles();
+  const tracking::TargetState mean = weighted_mean_state(p);
+  EXPECT_NEAR(mean.position.x, (0.0 + 2.0 * 2.0 + 0.0) / 4.0, 1e-12);
+  EXPECT_NEAR(mean.position.y, 3.0 / 4.0, 1e-12);
+  EXPECT_NEAR(mean.velocity.x, (1.0 + 0.0 + 1.0) / 4.0, 1e-12);
+  std::vector<Particle> zero{{{{1.0, 1.0}, {0.0, 0.0}}, 0.0}};
+  EXPECT_THROW(weighted_mean_state(zero), Error);
+}
+
+TEST(ParticleSet, PositionCovarianceOfSymmetricCloud) {
+  std::vector<Particle> p{{{{-1.0, 0.0}, {}}, 1.0},
+                          {{{1.0, 0.0}, {}}, 1.0},
+                          {{{0.0, -2.0}, {}}, 1.0},
+                          {{{0.0, 2.0}, {}}, 1.0}};
+  const PositionCovariance cov = weighted_position_covariance(p);
+  EXPECT_NEAR(cov.xx, 0.5, 1e-12);
+  EXPECT_NEAR(cov.yy, 2.0, 1e-12);
+  EXPECT_NEAR(cov.xy, 0.0, 1e-12);
+}
+
+TEST(ParticleSet, CovarianceRespectsWeights) {
+  std::vector<Particle> p{{{{-1.0, 0.0}, {}}, 3.0}, {{{1.0, 0.0}, {}}, 1.0}};
+  // Mean = -0.5; E[(x-mean)^2] = (3*(0.25) + 1*(2.25)) / 4 = 0.75.
+  const PositionCovariance cov = weighted_position_covariance(p);
+  EXPECT_NEAR(cov.xx, 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace cdpf::filters

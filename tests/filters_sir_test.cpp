@@ -1,0 +1,150 @@
+// Unit and behavioral tests for the generic SIR particle filter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "filters/sir_filter.hpp"
+#include "support/check.hpp"
+#include "tracking/measurement.hpp"
+
+namespace cdpf::filters {
+namespace {
+
+std::unique_ptr<const tracking::MotionModel> cv_model(double dt, double sigma) {
+  return std::make_unique<tracking::ConstantVelocityModel>(dt, sigma, sigma);
+}
+
+SirFilter make_filter(std::size_t particles = 500, bool resample_every = true) {
+  SirFilterConfig config;
+  config.num_particles = particles;
+  config.resample_every_step = resample_every;
+  return SirFilter(cv_model(1.0, 0.1), config);
+}
+
+TEST(SirFilter, RequiresInitialization) {
+  SirFilter filter = make_filter();
+  rng::Rng rng(301);
+  EXPECT_FALSE(filter.initialized());
+  EXPECT_THROW(filter.predict(rng), Error);
+  EXPECT_THROW(filter.estimate(), Error);
+}
+
+TEST(SirFilter, GaussianInitializationMoments) {
+  SirFilter filter = make_filter(20000);
+  rng::Rng rng(303);
+  filter.initialize({{10.0, 20.0}, {1.0, -1.0}}, {2.0, 3.0}, {0.5, 0.5}, rng);
+  ASSERT_TRUE(filter.initialized());
+  const tracking::TargetState mean = filter.estimate();
+  EXPECT_NEAR(mean.position.x, 10.0, 0.1);
+  EXPECT_NEAR(mean.position.y, 20.0, 0.1);
+  EXPECT_NEAR(mean.velocity.x, 1.0, 0.05);
+  EXPECT_NEAR(filter.ess(), 20000.0, 1.0);  // uniform weights
+}
+
+TEST(SirFilter, PredictShiftsCloudByVelocity) {
+  SirFilter filter = make_filter(5000);
+  rng::Rng rng(305);
+  filter.initialize({{0.0, 0.0}, {2.0, 0.0}}, {0.1, 0.1}, {0.01, 0.01}, rng);
+  filter.predict(rng);
+  EXPECT_NEAR(filter.estimate().position.x, 2.0, 0.05);
+}
+
+TEST(SirFilter, UpdateReweightsTowardLikelihood) {
+  SirFilter filter = make_filter(2000);
+  rng::Rng rng(307);
+  filter.initialize({{0.0, 0.0}, {0.0, 0.0}}, {5.0, 5.0}, {0.1, 0.1}, rng);
+  // Likelihood strongly prefers x > 0.
+  filter.update([](const tracking::TargetState& s) {
+    return -0.5 * (s.position.x - 4.0) * (s.position.x - 4.0);
+  });
+  EXPECT_GT(filter.estimate().position.x, 2.0);
+  EXPECT_LT(filter.ess(), 2000.0);  // weights became uneven
+}
+
+TEST(SirFilter, AllZeroLikelihoodFallsBackToUniform) {
+  SirFilter filter = make_filter(100);
+  rng::Rng rng(309);
+  filter.initialize({{0.0, 0.0}, {0.0, 0.0}}, {1.0, 1.0}, {0.1, 0.1}, rng);
+  const double max_ll = filter.update([](const tracking::TargetState&) {
+    return -std::numeric_limits<double>::infinity();
+  });
+  EXPECT_TRUE(std::isinf(max_ll));
+  EXPECT_NEAR(filter.ess(), 100.0, 1e-9);  // reset to uniform
+}
+
+TEST(SirFilter, ResampleEveryStepEqualizesWeights) {
+  SirFilter filter = make_filter(1000, /*resample_every=*/true);
+  rng::Rng rng(311);
+  filter.initialize({{0.0, 0.0}, {0.0, 0.0}}, {3.0, 3.0}, {0.1, 0.1}, rng);
+  filter.update([](const tracking::TargetState& s) {
+    return -s.position.norm_squared();
+  });
+  EXPECT_TRUE(filter.maybe_resample(rng));
+  EXPECT_NEAR(filter.ess(), 1000.0, 1e-6);
+}
+
+TEST(SirFilter, SisModeOnlyResamplesBelowThreshold) {
+  SirFilterConfig config;
+  config.num_particles = 1000;
+  config.resample_every_step = false;
+  config.ess_threshold_fraction = 0.5;
+  SirFilter filter(cv_model(1.0, 0.1), config);
+  rng::Rng rng(313);
+  filter.initialize({{0.0, 0.0}, {0.0, 0.0}}, {1.0, 1.0}, {0.1, 0.1}, rng);
+  // Uniform weights: ESS = N, no resampling.
+  EXPECT_FALSE(filter.maybe_resample(rng));
+  // Severely peaked likelihood: ESS collapses below N/2.
+  filter.update([](const tracking::TargetState& s) {
+    return -50.0 * s.position.norm_squared();
+  });
+  EXPECT_TRUE(filter.maybe_resample(rng));
+}
+
+TEST(SirFilter, TracksStaticTargetWithBearings) {
+  // Three bearing sensors around a static target: the filter should
+  // concentrate near the truth within a few iterations.
+  const tracking::BearingMeasurementModel bearing(0.05);
+  const geom::Vec2 truth{50.0, 50.0};
+  const geom::Vec2 sensors[] = {{30.0, 30.0}, {70.0, 30.0}, {50.0, 80.0}};
+
+  SirFilterConfig config;
+  config.num_particles = 2000;
+  SirFilter filter(cv_model(1.0, 0.05), config);
+  rng::Rng rng(317);
+  filter.initialize({{45.0, 55.0}, {0.0, 0.0}}, {10.0, 10.0}, {0.1, 0.1}, rng);
+  for (int k = 0; k < 10; ++k) {
+    filter.predict(rng);
+    filter.update([&](const tracking::TargetState& s) {
+      double ll = 0.0;
+      for (const geom::Vec2 sensor : sensors) {
+        ll += bearing.log_likelihood(bearing.ideal(sensor, truth), sensor, s.position);
+      }
+      return ll;
+    });
+    filter.maybe_resample(rng);
+  }
+  EXPECT_NEAR(geom::distance(filter.estimate().position, truth), 0.0, 1.0);
+}
+
+TEST(SirFilter, ExternalParticleInitializationNormalizes) {
+  SirFilter filter = make_filter(3);
+  std::vector<Particle> particles{{{{1.0, 0.0}, {}}, 2.0}, {{{3.0, 0.0}, {}}, 6.0}};
+  filter.initialize(std::move(particles));
+  EXPECT_NEAR(total_weight(filter.particles()), 1.0, 1e-12);
+  EXPECT_NEAR(filter.estimate().position.x, (1.0 * 0.25 + 3.0 * 0.75), 1e-12);
+  EXPECT_THROW(filter.initialize(std::vector<Particle>{}), Error);
+}
+
+TEST(SirFilter, ConfigValidation) {
+  SirFilterConfig bad;
+  bad.num_particles = 0;
+  EXPECT_THROW(SirFilter(cv_model(1.0, 0.1), bad), Error);
+  SirFilterConfig bad2;
+  bad2.ess_threshold_fraction = 0.0;
+  EXPECT_THROW(SirFilter(cv_model(1.0, 0.1), bad2), Error);
+  EXPECT_THROW(SirFilter(nullptr, SirFilterConfig{}), Error);
+}
+
+}  // namespace
+}  // namespace cdpf::filters

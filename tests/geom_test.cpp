@@ -1,0 +1,163 @@
+// Unit + randomized tests for geometry: vectors, angles, shapes and the
+// uniform-grid spatial index (checked against brute force).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/angles.hpp"
+#include "geom/grid_index.hpp"
+#include "geom/shapes.hpp"
+#include "geom/vec2.hpp"
+#include "random/rng.hpp"
+#include "support/check.hpp"
+
+namespace cdpf::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, Vec2(4.0, -2.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 6.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+  EXPECT_DOUBLE_EQ(a.dot(b), 3.0 - 8.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -4.0 - 6.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_squared(), 25.0);
+  const Vec2 unit = v.normalized();
+  EXPECT_NEAR(unit.norm(), 1.0, 1e-15);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, AngleRoundTrip) {
+  for (const double a : {-3.0, -1.5, 0.0, 0.7, 2.9}) {
+    const Vec2 v = Vec2::from_angle(a);
+    EXPECT_NEAR(angle_distance(v.angle(), a), 0.0, 1e-12);
+    EXPECT_NEAR(v.norm(), 1.0, 1e-15);
+  }
+}
+
+TEST(Angles, WrapIntoHalfOpenInterval) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(wrap_angle(kTwoPi + 0.25), 0.25, 1e-12);
+  EXPECT_NEAR(wrap_angle(-kTwoPi - 0.25), -0.25, 1e-12);
+  EXPECT_NEAR(wrap_angle(3.0 * kPi), kPi, 1e-12);
+  // The result is always in (-pi, pi].
+  for (double a = -20.0; a <= 20.0; a += 0.37) {
+    const double w = wrap_angle(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+  }
+}
+
+TEST(Angles, DifferenceTakesShortestPath) {
+  EXPECT_NEAR(angle_difference(0.1, -0.1), 0.2, 1e-12);
+  // Crossing the +-pi seam: the short way from -3.1 to 3.1 is small.
+  EXPECT_NEAR(std::abs(angle_difference(3.1, -3.1)), kTwoPi - 6.2, 1e-9);
+  EXPECT_NEAR(angle_distance(kPi - 0.05, -kPi + 0.05), 0.1, 1e-9);
+}
+
+TEST(Angles, CircularMeanHandlesSeam) {
+  const std::vector<double> angles{kPi - 0.1, -kPi + 0.1};
+  EXPECT_NEAR(angle_distance(circular_mean(angles), kPi), 0.0, 1e-9);
+  const std::vector<double> zero{0.2, -0.2};
+  EXPECT_NEAR(circular_mean(zero), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(circular_mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Angles, DegreesRadians) {
+  EXPECT_NEAR(deg_to_rad(180.0), kPi, 1e-15);
+  EXPECT_NEAR(rad_to_deg(kPi / 2.0), 90.0, 1e-12);
+}
+
+TEST(Aabb, ContainsAndClamp) {
+  const Aabb box = Aabb::square(10.0);
+  EXPECT_TRUE(box.contains({0.0, 0.0}));
+  EXPECT_TRUE(box.contains({10.0, 10.0}));
+  EXPECT_FALSE(box.contains({10.1, 5.0}));
+  EXPECT_EQ(box.clamp({-1.0, 12.0}), Vec2(0.0, 10.0));
+  EXPECT_EQ(box.center(), Vec2(5.0, 5.0));
+  EXPECT_DOUBLE_EQ(box.area(), 100.0);
+}
+
+TEST(Disk, ContainsBoundaryInclusive) {
+  const Disk d{{1.0, 1.0}, 2.0};
+  EXPECT_TRUE(d.contains({3.0, 1.0}));
+  EXPECT_FALSE(d.contains({3.01, 1.0}));
+  EXPECT_TRUE(d.intersects(Disk{{4.9, 1.0}, 2.0}));
+  EXPECT_FALSE(d.intersects(Disk{{5.1, 1.0}, 1.0}));
+}
+
+TEST(Segment, PointSegmentDistance) {
+  // Perpendicular foot inside the segment.
+  EXPECT_NEAR(distance_point_segment({0.0, 1.0}, {-1.0, 0.0}, {1.0, 0.0}), 1.0, 1e-12);
+  // Foot beyond the end: distance to the endpoint.
+  EXPECT_NEAR(distance_point_segment({3.0, 4.0}, {-1.0, 0.0}, {0.0, 0.0}), 5.0, 1e-12);
+  // Degenerate segment.
+  EXPECT_NEAR(distance_point_segment({3.0, 4.0}, {0.0, 0.0}, {0.0, 0.0}), 5.0, 1e-12);
+}
+
+class GridIndexRandomized : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(GridIndexRandomized, MatchesBruteForce) {
+  const auto [count, radius] = GetParam();
+  rng::Rng rng(static_cast<std::uint64_t>(count) * 1000 + 7);
+  const Aabb bounds = Aabb::square(100.0);
+  std::vector<Vec2> points;
+  points.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    points.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+  }
+  const GridIndex index(points, bounds, 7.0);
+  for (int q = 0; q < 25; ++q) {
+    const Vec2 center{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    auto got = index.query_disk(center, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> expected;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (distance(points[i], center) <= radius) {
+        expected.push_back(i);
+      }
+    }
+    ASSERT_EQ(got, expected) << "count=" << count << " radius=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridIndexRandomized,
+                         ::testing::Combine(::testing::Values(1, 10, 200, 2000),
+                                            ::testing::Values(0.0, 3.0, 12.0, 150.0)));
+
+TEST(GridIndex, RejectsPointOutsideBounds) {
+  const std::vector<Vec2> pts{{5.0, 5.0}, {11.0, 5.0}};
+  EXPECT_THROW(GridIndex(pts, Aabb::square(10.0), 1.0), Error);
+}
+
+TEST(GridIndex, RejectsNonPositiveCellSize) {
+  const std::vector<Vec2> pts{{5.0, 5.0}};
+  EXPECT_THROW(GridIndex(pts, Aabb::square(10.0), 0.0), Error);
+}
+
+TEST(GridIndex, VisitorSeesEveryMatch) {
+  const std::vector<Vec2> pts{{1.0, 1.0}, {2.0, 2.0}, {9.0, 9.0}};
+  const GridIndex index(pts, Aabb::square(10.0), 2.5);
+  int visits = 0;
+  index.visit_disk({1.5, 1.5}, 1.0, [&](std::size_t) { ++visits; });
+  EXPECT_EQ(visits, 2);
+}
+
+TEST(GridIndex, QueryOutsideBoundsStillWorks) {
+  const std::vector<Vec2> pts{{0.5, 0.5}};
+  const GridIndex index(pts, Aabb::square(10.0), 2.0);
+  EXPECT_EQ(index.query_disk({-5.0, -5.0}, 10.0).size(), 1u);
+  EXPECT_TRUE(index.query_disk({50.0, 50.0}, 5.0).empty());
+}
+
+}  // namespace
+}  // namespace cdpf::geom

@@ -1,0 +1,174 @@
+// Unit tests for bit streams, Huffman coding and the adaptive-encoding DPF
+// variant (Ing & Coates, paper reference [12]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/cpf.hpp"
+#include "filters/huffman.hpp"
+#include "random/rng.hpp"
+#include "sim/experiment.hpp"
+#include "support/bitstream.hpp"
+#include "support/check.hpp"
+#include "wsn/deployment.hpp"
+
+namespace cdpf {
+namespace {
+
+TEST(BitStream, RoundTripArbitraryWidths) {
+  support::BitWriter writer;
+  writer.write(0b101, 3);
+  writer.write(0xDEADBEEF, 32);
+  writer.write(1, 1);
+  writer.write(0, 7);
+  EXPECT_EQ(writer.bit_count(), 43u);
+  EXPECT_EQ(writer.byte_count(), 6u);
+
+  support::BitReader reader(writer.bytes(), writer.bit_count());
+  EXPECT_EQ(reader.read(3), 0b101u);
+  EXPECT_EQ(reader.read(32), 0xDEADBEEFu);
+  EXPECT_TRUE(reader.read_bit());
+  EXPECT_EQ(reader.read(7), 0u);
+  EXPECT_EQ(reader.remaining_bits(), 0u);
+  EXPECT_THROW(reader.read(1), Error);
+}
+
+TEST(BitStream, RejectsOversizedAccess) {
+  support::BitWriter writer;
+  EXPECT_THROW(writer.write(0, 65), Error);
+}
+
+TEST(Huffman, SkewedDistributionGetsShortFrequentCodes) {
+  const std::vector<double> freq{80.0, 10.0, 6.0, 4.0};
+  const auto code = filters::HuffmanCode::from_frequencies(freq);
+  EXPECT_EQ(code.alphabet_size(), 4u);
+  EXPECT_LE(code.code_length(0), code.code_length(1));
+  EXPECT_LE(code.code_length(1), code.code_length(3));
+  EXPECT_EQ(code.code_length(0), 1u);  // the dominant symbol gets one bit
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  rng::Rng rng(41);
+  const std::vector<double> freq{50.0, 25.0, 12.0, 6.0, 4.0, 2.0, 1.0};
+  const auto code = filters::HuffmanCode::from_frequencies(freq);
+  std::vector<std::size_t> symbols;
+  support::BitWriter writer;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t s = rng.categorical(freq);
+    symbols.push_back(s);
+    code.encode(s, writer);
+  }
+  support::BitReader reader(writer.bytes(), writer.bit_count());
+  for (const std::size_t expected : symbols) {
+    ASSERT_EQ(code.decode(reader), expected);
+  }
+  EXPECT_EQ(reader.remaining_bits(), 0u);
+}
+
+TEST(Huffman, ExpectedLengthWithinOneBitOfEntropy) {
+  // Shannon's bound: H <= L_huffman < H + 1 for any distribution.
+  std::vector<double> p(16);
+  double total = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    p[i] = std::exp(-0.5 * static_cast<double>(i));
+    total += p[i];
+  }
+  for (double& v : p) {
+    v /= total;
+  }
+  const auto code = filters::HuffmanCode::from_frequencies(p);
+  const double h = filters::entropy_bits(p);
+  const double l = code.expected_length(p);
+  EXPECT_GE(l, h - 1e-9);
+  EXPECT_LT(l, h + 1.0);
+}
+
+TEST(Huffman, UniformDistributionCostsLog2N) {
+  const std::vector<double> uniform(8, 1.0);
+  const auto code = filters::HuffmanCode::from_frequencies(uniform);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(code.code_length(s), 3u);
+  }
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const auto code = filters::HuffmanCode::from_frequencies(std::vector<double>{5.0});
+  EXPECT_EQ(code.code_length(0), 1u);
+  support::BitWriter writer;
+  code.encode(0, writer);
+  support::BitReader reader(writer.bytes(), writer.bit_count());
+  EXPECT_EQ(code.decode(reader), 0u);
+}
+
+TEST(Huffman, ZeroFrequencySymbolsRemainEncodable) {
+  const std::vector<double> freq{100.0, 0.0, 0.0};
+  const auto code = filters::HuffmanCode::from_frequencies(freq);
+  support::BitWriter writer;
+  code.encode(1, writer);
+  code.encode(2, writer);
+  support::BitReader reader(writer.bytes(), writer.bit_count());
+  EXPECT_EQ(code.decode(reader), 1u);
+  EXPECT_EQ(code.decode(reader), 2u);
+}
+
+TEST(Huffman, InvalidInputsRejected) {
+  EXPECT_THROW(filters::HuffmanCode::from_frequencies({}), Error);
+  EXPECT_THROW(filters::HuffmanCode::from_frequencies(std::vector<double>{1.0, -1.0}),
+               Error);
+}
+
+TEST(AdaptiveEncoding, ShrinksBytesWithoutLosingTheTrack) {
+  sim::Scenario scenario;
+  scenario.density_per_100m2 = 10.0;
+  rng::Rng rng_a(rng::derive_stream_seed(43, 0));
+  rng::Rng rng_b(rng::derive_stream_seed(43, 0));
+
+  auto run = [&scenario](core::CpfConfig config, rng::Rng& rng, double* bits) {
+    wsn::Network network = sim::build_network(scenario, rng);
+    wsn::Radio radio(network, scenario.payloads);
+    const tracking::Trajectory trajectory =
+        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+    core::CentralizedPf tracker(network, radio, config);
+    const sim::RunOutcome outcome = sim::run_tracking(tracker, trajectory, rng);
+    if (bits != nullptr) {
+      *bits = tracker.mean_bits_per_measurement();
+    }
+    return outcome;
+  };
+
+  core::CpfConfig quantized;
+  quantized.quantization_levels = 4096;  // 2-byte fixed words
+  core::CpfConfig adaptive = quantized;
+  adaptive.adaptive_encoding = true;
+
+  const auto plain = run(quantized, rng_a, nullptr);
+  double bits = 0.0;
+  const auto coded = run(adaptive, rng_b, &bits);
+
+  ASSERT_TRUE(coded.produced_estimates());
+  EXPECT_LT(coded.rmse(), 2.0 * plain.rmse() + 1.0);  // same fidelity class
+  // Innovations need fewer bits than the fixed 12-bit words (their
+  // entropy: the innovation spans ~sigma_inn, not the whole circle).
+  EXPECT_GT(bits, 0.0);
+  EXPECT_LT(bits, 12.0);
+  // At 12-bit fidelity the fixed words cost 2 bytes while nearly every
+  // innovation codeword fits in 1: the adaptive variant transmits strictly
+  // fewer measurement bytes.
+  EXPECT_LT(coded.comm.bytes(wsn::MessageKind::kMeasurement),
+            plain.comm.bytes(wsn::MessageKind::kMeasurement));
+}
+
+TEST(AdaptiveEncoding, RequiresQuantization) {
+  sim::Scenario scenario;
+  scenario.density_per_100m2 = 5.0;
+  rng::Rng rng(44);
+  wsn::Network network = sim::build_network(scenario, rng);
+  wsn::Radio radio(network, scenario.payloads);
+  core::CpfConfig config;
+  config.adaptive_encoding = true;  // but no quantization_levels
+  EXPECT_THROW(core::CentralizedPf(network, radio, config), Error);
+}
+
+}  // namespace
+}  // namespace cdpf

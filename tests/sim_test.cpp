@@ -1,0 +1,182 @@
+// Tests for the simulation engine, thread pool and Monte-Carlo runner.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "sim/thread_pool.hpp"
+#include "support/check.hpp"
+
+namespace cdpf::sim {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [](std::size_t i) {
+                                   if (i == 2) {
+                                     throw std::runtime_error("task failed");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(RunOutcome, ErrorMetrics) {
+  RunOutcome outcome;
+  EXPECT_DOUBLE_EQ(outcome.rmse(), 0.0);
+  EXPECT_FALSE(outcome.produced_estimates());
+  auto scored = [](double err) {
+    ScoredEstimate s;
+    s.position_error = err;
+    return s;
+  };
+  outcome.scored = {scored(3.0), scored(4.0)};
+  EXPECT_DOUBLE_EQ(outcome.rmse(), std::sqrt((9.0 + 16.0) / 2.0));
+  EXPECT_DOUBLE_EQ(outcome.mean_error(), 3.5);
+  EXPECT_DOUBLE_EQ(outcome.max_error(), 4.0);
+  EXPECT_TRUE(outcome.produced_estimates());
+}
+
+TEST(Scenario, NodeCountFollowsPaperDensities) {
+  Scenario s;
+  s.density_per_100m2 = 20.0;
+  EXPECT_EQ(s.node_count(), 8000u);
+  s.density_per_100m2 = 40.0;
+  EXPECT_EQ(s.node_count(), 16000u);
+}
+
+TEST(Algorithms, NamesAndFactory) {
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kCpf), "CPF");
+  EXPECT_EQ(algorithm_name(AlgorithmKind::kCdpfNe), "CDPF-NE");
+  Scenario scenario;
+  scenario.density_per_100m2 = 5.0;
+  rng::Rng rng(801);
+  wsn::Network network = build_network(scenario, rng);
+  wsn::Radio radio(network, scenario.payloads);
+  const AlgorithmParams params;
+  for (const AlgorithmKind kind : kAllAlgorithms) {
+    const auto tracker = make_tracker(kind, network, radio, params);
+    EXPECT_EQ(tracker->name(), algorithm_name(kind));
+    EXPECT_GT(tracker->time_step(), 0.0);
+  }
+}
+
+TEST(Engine, ScoresEstimatesAgainstInterpolatedTruth) {
+  // A stub tracker that reports the true position with a fixed 1 m offset.
+  class StubTracker final : public core::TrackerAlgorithm {
+   public:
+    std::string_view name() const override { return "stub"; }
+    double time_step() const override { return 2.0; }
+    void iterate(const tracking::TargetState& truth, double time, rng::Rng&) override {
+      pending_.push_back({{truth.position + geom::Vec2{1.0, 0.0}, truth.velocity}, time});
+    }
+    std::vector<core::TimedEstimate> take_estimates() override {
+      auto out = std::move(pending_);
+      pending_.clear();
+      return out;
+    }
+    const wsn::CommStats& comm_stats() const override { return stats_; }
+
+   private:
+    std::vector<core::TimedEstimate> pending_;
+    wsn::CommStats stats_;
+  };
+
+  std::vector<tracking::TargetState> states;
+  for (int k = 0; k <= 10; ++k) {
+    states.push_back({{static_cast<double>(k), 0.0}, {1.0, 0.0}});
+  }
+  const tracking::Trajectory trajectory(states, 1.0);
+  StubTracker tracker;
+  rng::Rng rng(803);
+  int hook_calls = 0;
+  const RunOutcome outcome =
+      run_tracking(tracker, trajectory, rng, [&hook_calls](double) { ++hook_calls; });
+  EXPECT_EQ(outcome.iterations, 6u);  // t = 0, 2, ..., 10
+  EXPECT_EQ(hook_calls, 6);
+  ASSERT_EQ(outcome.scored.size(), 6u);
+  for (const ScoredEstimate& s : outcome.scored) {
+    EXPECT_NEAR(s.position_error, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(outcome.rmse(), 1.0, 1e-12);
+}
+
+TEST(Experiment, TrialsAreDeterministicInSeed) {
+  Scenario scenario;
+  scenario.density_per_100m2 = 5.0;
+  scenario.trajectory.num_steps = 20;
+  const AlgorithmParams params;
+  const TrialResult a = run_trial(scenario, AlgorithmKind::kCdpf, params, 99, 0);
+  const TrialResult b = run_trial(scenario, AlgorithmKind::kCdpf, params, 99, 0);
+  EXPECT_DOUBLE_EQ(a.outcome.rmse(), b.outcome.rmse());
+  EXPECT_EQ(a.outcome.comm.total_bytes(), b.outcome.comm.total_bytes());
+  const TrialResult c = run_trial(scenario, AlgorithmKind::kCdpf, params, 99, 1);
+  EXPECT_NE(a.outcome.comm.total_bytes(), c.outcome.comm.total_bytes());
+}
+
+TEST(Experiment, MonteCarloIndependentOfWorkerCount) {
+  Scenario scenario;
+  scenario.density_per_100m2 = 5.0;
+  scenario.trajectory.num_steps = 20;
+  const AlgorithmParams params;
+  const MonteCarloResult serial =
+      run_monte_carlo(scenario, AlgorithmKind::kCdpfNe, params, 4, 7, /*workers=*/1);
+  const MonteCarloResult parallel =
+      run_monte_carlo(scenario, AlgorithmKind::kCdpfNe, params, 4, 7, /*workers=*/4);
+  EXPECT_DOUBLE_EQ(serial.rmse.mean(), parallel.rmse.mean());
+  EXPECT_DOUBLE_EQ(serial.total_bytes.mean(), parallel.total_bytes.mean());
+  EXPECT_EQ(serial.trials, 4u);
+}
+
+TEST(Experiment, HookFactoryReceivesNetwork) {
+  Scenario scenario;
+  scenario.density_per_100m2 = 5.0;
+  scenario.trajectory.num_steps = 10;
+  const AlgorithmParams params;
+  std::size_t seen_nodes = 0;
+  int hook_calls = 0;
+  run_trial(scenario, AlgorithmKind::kCdpf, params, 5, 0,
+            [&](wsn::Network& net, rng::Rng&) -> StepHook {
+              seen_nodes = net.size();
+              return [&hook_calls](double) { ++hook_calls; };
+            });
+  EXPECT_EQ(seen_nodes, 2000u);
+  EXPECT_GT(hook_calls, 0);
+}
+
+TEST(Experiment, ZeroTrialsRejected) {
+  Scenario scenario;
+  const AlgorithmParams params;
+  EXPECT_THROW(run_monte_carlo(scenario, AlgorithmKind::kCpf, params, 0, 1), Error);
+}
+
+}  // namespace
+}  // namespace cdpf::sim

@@ -1,0 +1,188 @@
+// Unit tests for the support library: checks, logging, tables, CLI parsing
+// and streaming statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/check.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/statistics.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+
+namespace cdpf {
+namespace {
+
+TEST(Check, PassingCheckDoesNothing) { EXPECT_NO_THROW(CDPF_CHECK(1 + 1 == 2)); }
+
+TEST(Check, FailingCheckThrowsErrorWithExpression) {
+  try {
+    CDPF_CHECK(2 + 2 == 5);
+    FAIL() << "expected cdpf::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsAppended) {
+  try {
+    CDPF_CHECK_MSG(false, "the flux capacitor is missing");
+    FAIL() << "expected cdpf::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("flux capacitor"), std::string::npos);
+  }
+}
+
+TEST(Log, ThresholdFiltersMessages) {
+  std::vector<std::string> lines;
+  log::set_sink([&lines](log::Level, std::string_view msg) {
+    lines.emplace_back(msg);
+  });
+  log::set_threshold(log::Level::kWarning);
+  CDPF_LOG_INFO("should be dropped");
+  CDPF_LOG_WARN("should appear");
+  log::set_sink(nullptr);
+  log::set_threshold(log::Level::kWarning);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "should appear");
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_EQ(log::level_name(log::Level::kDebug), "DEBUG");
+  EXPECT_EQ(log::level_name(log::Level::kError), "ERROR");
+}
+
+TEST(Table, AsciiLayoutAlignsColumns) {
+  support::Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  support::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, RowBuilderFormatsNumbers) {
+  support::Table t({"d", "i"});
+  auto row = t.row();
+  row.cell(3.14159, 2).cell(static_cast<long long>(-7));
+  t.commit_row(row);
+  EXPECT_EQ(t.rows()[0][0], "3.14");
+  EXPECT_EQ(t.rows()[0][1], "-7");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  support::Table t({"x"});
+  t.add_row({"a,b"});
+  t.add_row({"quote\"inside"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, MarkdownHasHeaderSeparator) {
+  support::Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_NE(t.to_markdown().find("|---|---|"), std::string::npos);
+}
+
+TEST(Cli, ParsesEqualsAndSpaceSeparatedFlags) {
+  const char* argv[] = {"prog", "--alpha=3.5", "--name", "xyz", "--flag"};
+  support::CliArgs args(5, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("alpha").value(), 3.5);
+  EXPECT_EQ(args.get_string("name").value(), "xyz");
+  EXPECT_TRUE(args.get_bool("flag").value());
+  EXPECT_FALSE(args.get_double("absent").has_value());
+  EXPECT_NO_THROW(args.check_unknown());
+}
+
+TEST(Cli, UnknownFlagDetected) {
+  const char* argv[] = {"prog", "--typo=1"};
+  support::CliArgs args(2, argv);
+  EXPECT_THROW(args.check_unknown(), Error);
+}
+
+TEST(Cli, DoubleListParsing) {
+  const char* argv[] = {"prog", "--densities=5,10,20.5"};
+  support::CliArgs args(2, argv);
+  const auto list = args.get_double_list("densities").value();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_DOUBLE_EQ(list[2], 20.5);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const char* argv[] = {"prog", "--n=abc"};
+  support::CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int("n"), Error);
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(support::CliArgs(2, argv), Error);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  support::RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSinglePass) {
+  support::RunningStats a, b, whole;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i));
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  support::RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesBesselCorrection) {
+  support::RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), 2.0, 1e-12);
+}
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  support::Stopwatch sw;
+  const double t0 = sw.elapsed_seconds();
+  EXPECT_GE(t0, 0.0);
+  sw.reset();
+  EXPECT_GE(sw.elapsed_ms(), 0.0);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(support::format_double(1.23456, 3), "1.235");
+  EXPECT_EQ(support::format_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace cdpf

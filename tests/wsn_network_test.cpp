@@ -1,0 +1,174 @@
+// Unit tests for deployment strategies and the Network spatial/runtime API.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "random/rng.hpp"
+#include "support/check.hpp"
+#include "geom/angles.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/network.hpp"
+
+namespace cdpf::wsn {
+namespace {
+
+NetworkConfig paper_config() {
+  return NetworkConfig{geom::Aabb::square(200.0), 10.0, 30.0};
+}
+
+TEST(Deployment, UniformRandomWithinField) {
+  rng::Rng rng(1);
+  const geom::Aabb field = geom::Aabb::square(50.0);
+  const auto positions = deploy_uniform_random(500, field, rng);
+  ASSERT_EQ(positions.size(), 500u);
+  for (const geom::Vec2 p : positions) {
+    EXPECT_TRUE(field.contains(p));
+  }
+}
+
+TEST(Deployment, UniformRandomCoversQuadrants) {
+  rng::Rng rng(2);
+  const geom::Aabb field = geom::Aabb::square(100.0);
+  const auto positions = deploy_uniform_random(2000, field, rng);
+  int quadrants[4] = {0, 0, 0, 0};
+  for (const geom::Vec2 p : positions) {
+    quadrants[(p.x > 50.0) + 2 * (p.y > 50.0)]++;
+  }
+  for (const int q : quadrants) {
+    EXPECT_NEAR(q, 500, 120);
+  }
+}
+
+TEST(Deployment, GridIsRegularWithoutJitter) {
+  rng::Rng rng(3);
+  const geom::Aabb field = geom::Aabb::square(100.0);
+  const auto positions = deploy_grid(100, field, 0.0, rng);
+  ASSERT_EQ(positions.size(), 100u);
+  // Perfect 10x10 grid: nearest-neighbor distance is exactly the pitch.
+  double min_nn = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      min_nn = std::min(min_nn, geom::distance(positions[i], positions[j]));
+    }
+  }
+  EXPECT_NEAR(min_nn, 10.0, 1e-9);
+}
+
+TEST(Deployment, PoissonDiskSpreadsBetterThanRandom) {
+  rng::Rng rng(4);
+  const geom::Aabb field = geom::Aabb::square(100.0);
+  const auto poisson = deploy_poisson_disk(100, field, 16, rng);
+  const auto random = deploy_uniform_random(100, field, rng);
+  auto min_nn = [](const std::vector<geom::Vec2>& pts) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        best = std::min(best, geom::distance(pts[i], pts[j]));
+      }
+    }
+    return best;
+  };
+  EXPECT_GT(min_nn(poisson), min_nn(random));
+}
+
+TEST(Deployment, DensityConversionRoundTrip) {
+  const geom::Aabb field = geom::Aabb::square(200.0);
+  // Paper: 20 nodes/100 m^2 over 200x200 m => 8000 nodes.
+  EXPECT_EQ(node_count_for_density(20.0, field), 8000u);
+  EXPECT_EQ(node_count_for_density(5.0, field), 2000u);
+  EXPECT_DOUBLE_EQ(density_of(8000, field), 20.0);
+  EXPECT_THROW(node_count_for_density(0.0, field), Error);
+}
+
+TEST(Network, RejectsInvalidConstruction) {
+  EXPECT_THROW(Network({}, paper_config()), Error);
+  EXPECT_THROW(Network({{300.0, 0.0}}, paper_config()), Error);
+}
+
+TEST(Network, SinkIsNearestToCenter) {
+  const std::vector<geom::Vec2> positions{
+      {10.0, 10.0}, {99.0, 103.0}, {190.0, 50.0}, {100.0, 160.0}};
+  const Network net(positions, paper_config());
+  EXPECT_EQ(net.sink(), 1u);
+}
+
+TEST(Network, NodesWithinMatchesBruteForce) {
+  rng::Rng rng(5);
+  const auto positions = deploy_uniform_random(3000, geom::Aabb::square(200.0), rng);
+  const Network net(positions, paper_config());
+  for (int q = 0; q < 20; ++q) {
+    const geom::Vec2 c{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+    const double r = rng.uniform(1.0, 40.0);
+    auto got = net.nodes_within(c, r);
+    std::sort(got.begin(), got.end());
+    std::vector<NodeId> expected;
+    for (const Node& n : net.nodes()) {
+      if (geom::distance(n.position, c) <= r) {
+        expected.push_back(n.id);
+      }
+    }
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST(Network, DetectingNodesUseSensingRadiusAndActivity) {
+  const std::vector<geom::Vec2> positions{
+      {100.0, 100.0}, {105.0, 100.0}, {111.0, 100.0}, {100.0, 109.0}};
+  Network net(positions, paper_config());
+  auto detecting = net.detecting_nodes({100.0, 100.0});
+  std::sort(detecting.begin(), detecting.end());
+  EXPECT_EQ(detecting, (std::vector<NodeId>{0, 1, 3}));  // node 2 is 11 m away
+
+  net.set_alive(1, false);
+  detecting = net.detecting_nodes({100.0, 100.0});
+  std::sort(detecting.begin(), detecting.end());
+  EXPECT_EQ(detecting, (std::vector<NodeId>{0, 3}));
+
+  net.set_power(3, PowerState::kAsleep);
+  detecting = net.detecting_nodes({100.0, 100.0});
+  EXPECT_EQ(detecting, (std::vector<NodeId>{0}));
+}
+
+TEST(Network, CommNeighborsExcludeSelfAndOutOfRange) {
+  const std::vector<geom::Vec2> positions{
+      {100.0, 100.0}, {120.0, 100.0}, {131.0, 100.0}};
+  const Network net(positions, paper_config());
+  EXPECT_EQ(net.comm_neighbors(0), (std::vector<NodeId>{1}));
+  auto n1 = net.comm_neighbors(1);
+  std::sort(n1.begin(), n1.end());
+  EXPECT_EQ(n1, (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Network, ResetRuntimeStateRevivesEverything) {
+  const std::vector<geom::Vec2> positions{{50.0, 50.0}, {60.0, 50.0}};
+  Network net(positions, paper_config());
+  net.set_alive(0, false);
+  net.set_power(1, PowerState::kAsleep);
+  EXPECT_FALSE(net.is_active(0));
+  EXPECT_FALSE(net.is_active(1));
+  net.reset_runtime_state();
+  EXPECT_TRUE(net.is_active(0));
+  EXPECT_TRUE(net.is_active(1));
+}
+
+TEST(Network, DensityAndDegreeDiagnostics) {
+  rng::Rng rng(6);
+  const auto positions = deploy_uniform_random(2000, geom::Aabb::square(200.0), rng);
+  const Network net(positions, paper_config());
+  EXPECT_NEAR(net.density_per_100m2(), 5.0, 1e-12);
+  // Expected comm degree ~ density * pi * r_c^2 (minus border effects).
+  const double expected = 5.0 / 100.0 * geom::kPi * 30.0 * 30.0;
+  EXPECT_NEAR(net.average_comm_degree(), expected, expected * 0.25);
+}
+
+TEST(Network, OverhearingAssumptionFlag) {
+  NetworkConfig c = paper_config();
+  EXPECT_TRUE(c.overhearing_assumption_holds());  // 10 <= 30/2
+  c.sensing_radius = 16.0;
+  EXPECT_FALSE(c.overhearing_assumption_holds());
+}
+
+}  // namespace
+}  // namespace cdpf::wsn

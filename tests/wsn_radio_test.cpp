@@ -1,0 +1,156 @@
+// Unit tests for the protocol-model radio, communication accounting and the
+// energy model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "random/rng.hpp"
+#include "support/check.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/energy.hpp"
+#include "wsn/network.hpp"
+#include "wsn/radio.hpp"
+
+namespace cdpf::wsn {
+namespace {
+
+NetworkConfig small_config() {
+  return NetworkConfig{geom::Aabb::square(100.0), 10.0, 30.0};
+}
+
+TEST(Radio, BroadcastReachesExactlyActiveNodesInRange) {
+  const std::vector<geom::Vec2> positions{
+      {50.0, 50.0}, {70.0, 50.0}, {81.0, 50.0}, {50.0, 75.0}, {50.0, 81.0}};
+  Network net(positions, small_config());
+  Radio radio(net, PayloadSizes{});
+  auto receivers = radio.broadcast(0, MessageKind::kParticle, 20);
+  std::sort(receivers.begin(), receivers.end());
+  EXPECT_EQ(receivers, (std::vector<NodeId>{1, 3}));  // 2 and 4 are > 30 m away
+}
+
+TEST(Radio, SleepingNodesMissBroadcasts) {
+  const std::vector<geom::Vec2> positions{{50.0, 50.0}, {60.0, 50.0}, {70.0, 50.0}};
+  Network net(positions, small_config());
+  Radio radio(net, PayloadSizes{});
+  net.set_power(1, PowerState::kAsleep);
+  const auto receivers = radio.broadcast(0, MessageKind::kMeasurement, 4);
+  EXPECT_EQ(receivers, (std::vector<NodeId>{2}));
+}
+
+TEST(Radio, DeadNodesCannotTransmit) {
+  const std::vector<geom::Vec2> positions{{50.0, 50.0}, {60.0, 50.0}};
+  Network net(positions, small_config());
+  Radio radio(net, PayloadSizes{});
+  net.set_alive(0, false);
+  EXPECT_THROW(radio.broadcast(0, MessageKind::kParticle, 20), Error);
+}
+
+TEST(Radio, StatsAccumulatePerKind) {
+  const std::vector<geom::Vec2> positions{{50.0, 50.0}, {60.0, 50.0}, {70.0, 50.0}};
+  Network net(positions, small_config());
+  Radio radio(net, PayloadSizes{});
+  radio.broadcast(0, MessageKind::kParticle, 20);
+  radio.broadcast(1, MessageKind::kParticle, 20);
+  radio.broadcast(0, MessageKind::kMeasurement, 4);
+  EXPECT_EQ(radio.stats().messages(MessageKind::kParticle), 2u);
+  EXPECT_EQ(radio.stats().bytes(MessageKind::kParticle), 40u);
+  EXPECT_EQ(radio.stats().messages(MessageKind::kMeasurement), 1u);
+  EXPECT_EQ(radio.stats().total_messages(), 3u);
+  EXPECT_EQ(radio.stats().total_bytes(), 44u);
+  // Node 1 reaches both others; node 0 reaches 1 and 2 (60,70 within 30 m).
+  EXPECT_EQ(radio.stats().receptions(MessageKind::kParticle), 4u);
+}
+
+TEST(Radio, UnicastRequiresRangeAndActivity) {
+  const std::vector<geom::Vec2> positions{{50.0, 50.0}, {60.0, 50.0}, {95.0, 50.0}};
+  Network net(positions, small_config());
+  Radio radio(net, PayloadSizes{});
+  EXPECT_TRUE(radio.unicast(0, 1, MessageKind::kWeight, 4));
+  EXPECT_FALSE(radio.unicast(0, 2, MessageKind::kWeight, 4));  // 45 m
+  net.set_power(1, PowerState::kAsleep);
+  EXPECT_FALSE(radio.unicast(0, 1, MessageKind::kWeight, 4));
+  EXPECT_EQ(radio.stats().total_messages(), 1u);  // failures record nothing
+}
+
+TEST(Radio, TransceiverPrimitives) {
+  const std::vector<geom::Vec2> positions{{10.0, 10.0}, {90.0, 90.0}};
+  Network net(positions, small_config());
+  Radio radio(net, PayloadSizes{});
+  radio.transceiver_broadcast(MessageKind::kAggregate, 4);
+  radio.send_to_transceiver(0, MessageKind::kWeight, 8);
+  EXPECT_EQ(radio.stats().messages(MessageKind::kAggregate), 1u);
+  EXPECT_EQ(radio.stats().receptions(MessageKind::kAggregate), 2u);
+  EXPECT_EQ(radio.stats().bytes(MessageKind::kWeight), 8u);
+}
+
+TEST(Radio, InterferencePredicate) {
+  const std::vector<geom::Vec2> positions{{50.0, 50.0}, {60.0, 50.0}, {62.0, 50.0}};
+  Network net(positions, small_config());
+  Radio radio(net, PayloadSizes{});
+  // tx(2) is 2 m from rx(1) while src(0) is 10 m away: interference.
+  EXPECT_TRUE(radio.interferes(2, 0, 1));
+  // tx far away does not interfere.
+  EXPECT_FALSE(radio.interferes(0, 2, 1));
+}
+
+TEST(CommStats, MergeAndReset) {
+  CommStats a, b;
+  a.record(MessageKind::kParticle, 20, 3);
+  b.record(MessageKind::kParticle, 20, 1);
+  b.record(MessageKind::kControl, 4, 0);
+  a.merge(b);
+  EXPECT_EQ(a.messages(MessageKind::kParticle), 2u);
+  EXPECT_EQ(a.bytes(MessageKind::kParticle), 40u);
+  EXPECT_EQ(a.receptions(MessageKind::kParticle), 4u);
+  EXPECT_EQ(a.messages(MessageKind::kControl), 1u);
+  a.reset();
+  EXPECT_EQ(a.total_messages(), 0u);
+  EXPECT_EQ(a.total_bytes(), 0u);
+}
+
+TEST(CommStats, SummaryMentionsActiveKinds) {
+  CommStats s;
+  s.record(MessageKind::kMeasurement, 4, 2);
+  const std::string summary = s.summary();
+  EXPECT_NE(summary.find("measurement"), std::string::npos);
+  EXPECT_EQ(summary.find("particle"), std::string::npos);
+}
+
+TEST(Energy, FirstOrderRadioModel) {
+  EnergyModel energy(2, EnergyParams{});
+  const EnergyParams& p = energy.params();
+  energy.charge_tx(0, 100, 30.0);
+  energy.charge_rx(1, 100);
+  EXPECT_NEAR(energy.consumed_uj(0),
+              100.0 * (p.e_elec_uj_per_byte + p.e_amp_uj_per_byte_m2 * 900.0), 1e-9);
+  EXPECT_NEAR(energy.consumed_uj(1), 100.0 * p.e_elec_uj_per_byte, 1e-9);
+  EXPECT_GT(energy.consumed_uj(0), energy.consumed_uj(1));  // tx costs more
+  energy.charge_idle(0, 2.0);
+  energy.charge_sleep(1, 2.0);
+  EXPECT_GT(energy.consumed_uj(0), energy.consumed_uj(1));  // idle >> sleep
+  EXPECT_NEAR(energy.total_consumed_uj(),
+              energy.consumed_uj(0) + energy.consumed_uj(1), 1e-9);
+  EXPECT_DOUBLE_EQ(energy.max_consumed_uj(), energy.consumed_uj(0));
+  energy.reset();
+  EXPECT_DOUBLE_EQ(energy.total_consumed_uj(), 0.0);
+}
+
+TEST(Energy, RadioChargesTransmitterAndReceivers) {
+  const std::vector<geom::Vec2> positions{{50.0, 50.0}, {60.0, 50.0}, {70.0, 50.0}};
+  Network net(positions, small_config());
+  EnergyModel energy(net.size(), EnergyParams{});
+  Radio radio(net, PayloadSizes{}, &energy);
+  radio.broadcast(0, MessageKind::kParticle, 20);
+  EXPECT_GT(energy.consumed_uj(0), 0.0);
+  EXPECT_GT(energy.consumed_uj(1), 0.0);
+  EXPECT_GT(energy.consumed_uj(2), 0.0);
+  EXPECT_GT(energy.consumed_uj(0), energy.consumed_uj(1));
+}
+
+TEST(MessageKinds, NamesAreStable) {
+  EXPECT_EQ(message_kind_name(MessageKind::kParticle), "particle");
+  EXPECT_EQ(message_kind_name(MessageKind::kEstimate), "estimate");
+}
+
+}  // namespace
+}  // namespace cdpf::wsn

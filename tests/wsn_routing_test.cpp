@@ -1,0 +1,111 @@
+// Unit tests for greedy geographic routing, including the paper's "within
+// four hops at the most" remark for its evaluation geometry.
+#include <gtest/gtest.h>
+
+#include "random/rng.hpp"
+#include "wsn/deployment.hpp"
+#include "wsn/network.hpp"
+#include "wsn/radio.hpp"
+#include "wsn/routing.hpp"
+
+namespace cdpf::wsn {
+namespace {
+
+TEST(Routing, StraightLineTopologyHopCount) {
+  // Nodes every 20 m on a line; r_c = 30 m => greedy takes 20 m hops.
+  std::vector<geom::Vec2> positions;
+  for (int i = 0; i <= 5; ++i) {
+    positions.push_back({static_cast<double>(20 * i), 50.0});
+  }
+  const Network net(positions, NetworkConfig{geom::Aabb::square(100.0), 10.0, 30.0});
+  const GreedyGeographicRouter router(net);
+  const auto path = router.route(0, 5);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->front(), 0u);
+  EXPECT_EQ(path->back(), 5u);
+  // Only adjacent nodes (20 m) are within r_c = 30 m, so greedy advances
+  // one node per hop: five hops for 0 -> 5.
+  EXPECT_EQ(router.hop_count(0, 5).value(), 5u);
+}
+
+TEST(Routing, SelfRouteIsZeroHops) {
+  const std::vector<geom::Vec2> positions{{10.0, 10.0}, {20.0, 10.0}};
+  const Network net(positions, NetworkConfig{geom::Aabb::square(100.0), 10.0, 30.0});
+  const GreedyGeographicRouter router(net);
+  EXPECT_EQ(router.hop_count(0, 0).value(), 0u);
+}
+
+TEST(Routing, GreedyVoidReturnsNullopt) {
+  // A gap of 40 m > r_c: no forwarding possible.
+  const std::vector<geom::Vec2> positions{{0.0, 50.0}, {20.0, 50.0}, {60.0, 50.0}};
+  const Network net(positions, NetworkConfig{geom::Aabb::square(100.0), 10.0, 30.0});
+  const GreedyGeographicRouter router(net);
+  EXPECT_FALSE(router.route(0, 2).has_value());
+}
+
+TEST(Routing, SendChargesOneUnicastPerHop) {
+  std::vector<geom::Vec2> positions;
+  for (int i = 0; i <= 3; ++i) {
+    positions.push_back({static_cast<double>(25 * i), 50.0});
+  }
+  Network net(positions, NetworkConfig{geom::Aabb::square(100.0), 10.0, 30.0});
+  Radio radio(net, PayloadSizes{});
+  const GreedyGeographicRouter router(net);
+  const auto hops = router.send(radio, 0, 3, MessageKind::kMeasurement, 4);
+  ASSERT_TRUE(hops.has_value());
+  EXPECT_EQ(radio.stats().messages(MessageKind::kMeasurement), *hops);
+  EXPECT_EQ(radio.stats().bytes(MessageKind::kMeasurement), *hops * 4);
+}
+
+TEST(Routing, FailedRouteChargesNothing) {
+  const std::vector<geom::Vec2> positions{{0.0, 50.0}, {90.0, 50.0}};
+  Network net(positions, NetworkConfig{geom::Aabb::square(100.0), 10.0, 30.0});
+  Radio radio(net, PayloadSizes{});
+  const GreedyGeographicRouter router(net);
+  EXPECT_FALSE(router.send(radio, 0, 1, MessageKind::kMeasurement, 4).has_value());
+  EXPECT_EQ(radio.stats().total_messages(), 0u);
+}
+
+TEST(Routing, RoutesAvoidDeadRelays) {
+  // Two parallel 2-hop paths; kill the shorter relay.
+  const std::vector<geom::Vec2> positions{
+      {0.0, 50.0}, {28.0, 50.0}, {25.0, 65.0}, {50.0, 50.0}};
+  Network net(positions, NetworkConfig{geom::Aabb::square(100.0), 10.0, 30.0});
+  const GreedyGeographicRouter router(net);
+  ASSERT_TRUE(router.route(0, 3).has_value());
+  net.set_alive(1, false);
+  const auto path = router.route(0, 3);
+  ASSERT_TRUE(path.has_value());
+  for (const NodeId id : *path) {
+    EXPECT_NE(id, 1u);
+  }
+}
+
+TEST(Routing, PaperGeometryFourHopsToSink) {
+  // Paper §VI-B: "any node can propagate the particle data to the sink node
+  // in the center of the network within four hops at the most". Verify on
+  // the paper's own geometry (200x200 m, r_c = 30 m, density >= 5/100 m^2).
+  rng::Rng rng(7);
+  const auto positions = deploy_uniform_random(2000, geom::Aabb::square(200.0), rng);
+  const Network net(positions, NetworkConfig{geom::Aabb::square(200.0), 10.0, 30.0});
+  const GreedyGeographicRouter router(net);
+  const NodeId sink = net.sink();
+  std::size_t max_hops = 0;
+  std::size_t voids = 0;
+  for (NodeId id = 0; id < net.size(); id += 37) {  // sampled sources
+    const auto hops = router.hop_count(id, sink);
+    if (!hops) {
+      ++voids;
+      continue;
+    }
+    max_hops = std::max(max_hops, *hops);
+  }
+  EXPECT_EQ(voids, 0u);
+  // Greedy hops cover >= ~2/3 of r_c at this density: diameter/2 ~ 141 m,
+  // so <= 6-7 hops; the paper's ideal-forwarding bound is 4-5.
+  EXPECT_LE(max_hops, 7u);
+  EXPECT_GE(max_hops, 4u);
+}
+
+}  // namespace
+}  // namespace cdpf::wsn
