@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_duty_cycle.dir/ablation_duty_cycle.cpp.o"
+  "CMakeFiles/ablation_duty_cycle.dir/ablation_duty_cycle.cpp.o.d"
+  "ablation_duty_cycle"
+  "ablation_duty_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_radius_ratio.dir/ablation_radius_ratio.cpp.o"
+  "CMakeFiles/ablation_radius_ratio.dir/ablation_radius_ratio.cpp.o.d"
+  "ablation_radius_ratio"
+  "ablation_radius_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_radius_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timestep.dir/ablation_timestep.cpp.o"
+  "CMakeFiles/ablation_timestep.dir/ablation_timestep.cpp.o.d"
+  "ablation_timestep"
+  "ablation_timestep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timestep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

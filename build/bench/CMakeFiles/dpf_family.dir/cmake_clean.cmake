@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpf_family.dir/dpf_family.cpp.o"
+  "CMakeFiles/dpf_family.dir/dpf_family.cpp.o.d"
+  "dpf_family"
+  "dpf_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpf_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_lifetime.dir/energy_lifetime.cpp.o"
+  "CMakeFiles/energy_lifetime.dir/energy_lifetime.cpp.o.d"
+  "energy_lifetime"
+  "energy_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parametric_baselines.dir/parametric_baselines.cpp.o"
+  "CMakeFiles/parametric_baselines.dir/parametric_baselines.cpp.o.d"
+  "parametric_baselines"
+  "parametric_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parametric_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_comm_model.dir/table1_comm_model.cpp.o"
+  "CMakeFiles/table1_comm_model.dir/table1_comm_model.cpp.o.d"
+  "table1_comm_model"
+  "table1_comm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_comm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

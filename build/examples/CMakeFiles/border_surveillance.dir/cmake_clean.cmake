@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/border_surveillance.dir/border_surveillance.cpp.o"
+  "CMakeFiles/border_surveillance.dir/border_surveillance.cpp.o.d"
+  "border_surveillance"
+  "border_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/border_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

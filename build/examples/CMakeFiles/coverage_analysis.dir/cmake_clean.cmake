@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coverage_analysis.dir/coverage_analysis.cpp.o"
+  "CMakeFiles/coverage_analysis.dir/coverage_analysis.cpp.o.d"
+  "coverage_analysis"
+  "coverage_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coverage_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

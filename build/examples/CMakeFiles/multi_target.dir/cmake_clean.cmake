@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_target.dir/multi_target.cpp.o"
+  "CMakeFiles/multi_target.dir/multi_target.cpp.o.d"
+  "multi_target"
+  "multi_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

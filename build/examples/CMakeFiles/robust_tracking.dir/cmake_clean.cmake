@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_tracking.dir/robust_tracking.cpp.o"
+  "CMakeFiles/robust_tracking.dir/robust_tracking.cpp.o.d"
+  "robust_tracking"
+  "robust_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracking_trace.dir/tracking_trace.cpp.o"
+  "CMakeFiles/tracking_trace.dir/tracking_trace.cpp.o.d"
+  "tracking_trace"
+  "tracking_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracking_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

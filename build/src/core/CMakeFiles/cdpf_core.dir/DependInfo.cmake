@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cdpf.cpp" "src/core/CMakeFiles/cdpf_core.dir/cdpf.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/cdpf.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/cdpf_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/cpf.cpp" "src/core/CMakeFiles/cdpf_core.dir/cpf.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/cpf.cpp.o.d"
+  "/root/repo/src/core/gmm_dpf.cpp" "src/core/CMakeFiles/cdpf_core.dir/gmm_dpf.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/gmm_dpf.cpp.o.d"
+  "/root/repo/src/core/multi_target.cpp" "src/core/CMakeFiles/cdpf_core.dir/multi_target.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/multi_target.cpp.o.d"
+  "/root/repo/src/core/neighborhood_estimation.cpp" "src/core/CMakeFiles/cdpf_core.dir/neighborhood_estimation.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/neighborhood_estimation.cpp.o.d"
+  "/root/repo/src/core/node_particle.cpp" "src/core/CMakeFiles/cdpf_core.dir/node_particle.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/node_particle.cpp.o.d"
+  "/root/repo/src/core/propagation.cpp" "src/core/CMakeFiles/cdpf_core.dir/propagation.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/propagation.cpp.o.d"
+  "/root/repo/src/core/sdpf.cpp" "src/core/CMakeFiles/cdpf_core.dir/sdpf.cpp.o" "gcc" "src/core/CMakeFiles/cdpf_core.dir/sdpf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cdpf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cdpf_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cdpf_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/cdpf_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/cdpf_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/cdpf_filters.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

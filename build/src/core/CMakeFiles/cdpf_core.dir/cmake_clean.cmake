@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpf_core.dir/cdpf.cpp.o"
+  "CMakeFiles/cdpf_core.dir/cdpf.cpp.o.d"
+  "CMakeFiles/cdpf_core.dir/cost_model.cpp.o"
+  "CMakeFiles/cdpf_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/cdpf_core.dir/cpf.cpp.o"
+  "CMakeFiles/cdpf_core.dir/cpf.cpp.o.d"
+  "CMakeFiles/cdpf_core.dir/gmm_dpf.cpp.o"
+  "CMakeFiles/cdpf_core.dir/gmm_dpf.cpp.o.d"
+  "CMakeFiles/cdpf_core.dir/multi_target.cpp.o"
+  "CMakeFiles/cdpf_core.dir/multi_target.cpp.o.d"
+  "CMakeFiles/cdpf_core.dir/neighborhood_estimation.cpp.o"
+  "CMakeFiles/cdpf_core.dir/neighborhood_estimation.cpp.o.d"
+  "CMakeFiles/cdpf_core.dir/node_particle.cpp.o"
+  "CMakeFiles/cdpf_core.dir/node_particle.cpp.o.d"
+  "CMakeFiles/cdpf_core.dir/propagation.cpp.o"
+  "CMakeFiles/cdpf_core.dir/propagation.cpp.o.d"
+  "CMakeFiles/cdpf_core.dir/sdpf.cpp.o"
+  "CMakeFiles/cdpf_core.dir/sdpf.cpp.o.d"
+  "libcdpf_core.a"
+  "libcdpf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

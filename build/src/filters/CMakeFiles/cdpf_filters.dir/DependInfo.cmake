@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filters/auxiliary.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/auxiliary.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/auxiliary.cpp.o.d"
+  "/root/repo/src/filters/ekf.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/ekf.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/ekf.cpp.o.d"
+  "/root/repo/src/filters/gmm.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/gmm.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/gmm.cpp.o.d"
+  "/root/repo/src/filters/huffman.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/huffman.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/huffman.cpp.o.d"
+  "/root/repo/src/filters/kld_sampling.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/kld_sampling.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/kld_sampling.cpp.o.d"
+  "/root/repo/src/filters/ospa.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/ospa.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/ospa.cpp.o.d"
+  "/root/repo/src/filters/particle.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/particle.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/particle.cpp.o.d"
+  "/root/repo/src/filters/resampling.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/resampling.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/resampling.cpp.o.d"
+  "/root/repo/src/filters/sir_filter.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/sir_filter.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/sir_filter.cpp.o.d"
+  "/root/repo/src/filters/ukf.cpp" "src/filters/CMakeFiles/cdpf_filters.dir/ukf.cpp.o" "gcc" "src/filters/CMakeFiles/cdpf_filters.dir/ukf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cdpf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cdpf_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cdpf_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/cdpf_tracking.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpf_filters.dir/auxiliary.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/auxiliary.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/ekf.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/ekf.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/gmm.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/gmm.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/huffman.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/huffman.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/kld_sampling.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/kld_sampling.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/ospa.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/ospa.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/particle.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/particle.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/resampling.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/resampling.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/sir_filter.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/sir_filter.cpp.o.d"
+  "CMakeFiles/cdpf_filters.dir/ukf.cpp.o"
+  "CMakeFiles/cdpf_filters.dir/ukf.cpp.o.d"
+  "libcdpf_filters.a"
+  "libcdpf_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpf_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpf_geom.dir/grid_index.cpp.o"
+  "CMakeFiles/cdpf_geom.dir/grid_index.cpp.o.d"
+  "CMakeFiles/cdpf_geom.dir/kdtree.cpp.o"
+  "CMakeFiles/cdpf_geom.dir/kdtree.cpp.o.d"
+  "CMakeFiles/cdpf_geom.dir/vec2.cpp.o"
+  "CMakeFiles/cdpf_geom.dir/vec2.cpp.o.d"
+  "libcdpf_geom.a"
+  "libcdpf_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpf_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdpf_geom.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpf_random.dir/rng.cpp.o"
+  "CMakeFiles/cdpf_random.dir/rng.cpp.o.d"
+  "libcdpf_random.a"
+  "libcdpf_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpf_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

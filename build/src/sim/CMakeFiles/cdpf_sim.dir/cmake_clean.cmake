@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpf_sim.dir/engine.cpp.o"
+  "CMakeFiles/cdpf_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/cdpf_sim.dir/experiment.cpp.o"
+  "CMakeFiles/cdpf_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/cdpf_sim.dir/thread_pool.cpp.o"
+  "CMakeFiles/cdpf_sim.dir/thread_pool.cpp.o.d"
+  "libcdpf_sim.a"
+  "libcdpf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

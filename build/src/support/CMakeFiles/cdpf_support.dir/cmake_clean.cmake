@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpf_support.dir/ascii_plot.cpp.o"
+  "CMakeFiles/cdpf_support.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/cdpf_support.dir/bitstream.cpp.o"
+  "CMakeFiles/cdpf_support.dir/bitstream.cpp.o.d"
+  "CMakeFiles/cdpf_support.dir/check.cpp.o"
+  "CMakeFiles/cdpf_support.dir/check.cpp.o.d"
+  "CMakeFiles/cdpf_support.dir/cli.cpp.o"
+  "CMakeFiles/cdpf_support.dir/cli.cpp.o.d"
+  "CMakeFiles/cdpf_support.dir/log.cpp.o"
+  "CMakeFiles/cdpf_support.dir/log.cpp.o.d"
+  "CMakeFiles/cdpf_support.dir/table.cpp.o"
+  "CMakeFiles/cdpf_support.dir/table.cpp.o.d"
+  "libcdpf_support.a"
+  "libcdpf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracking/detection.cpp" "src/tracking/CMakeFiles/cdpf_tracking.dir/detection.cpp.o" "gcc" "src/tracking/CMakeFiles/cdpf_tracking.dir/detection.cpp.o.d"
+  "/root/repo/src/tracking/measurement.cpp" "src/tracking/CMakeFiles/cdpf_tracking.dir/measurement.cpp.o" "gcc" "src/tracking/CMakeFiles/cdpf_tracking.dir/measurement.cpp.o.d"
+  "/root/repo/src/tracking/motion_model.cpp" "src/tracking/CMakeFiles/cdpf_tracking.dir/motion_model.cpp.o" "gcc" "src/tracking/CMakeFiles/cdpf_tracking.dir/motion_model.cpp.o.d"
+  "/root/repo/src/tracking/trajectory.cpp" "src/tracking/CMakeFiles/cdpf_tracking.dir/trajectory.cpp.o" "gcc" "src/tracking/CMakeFiles/cdpf_tracking.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cdpf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cdpf_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cdpf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpf_tracking.dir/detection.cpp.o"
+  "CMakeFiles/cdpf_tracking.dir/detection.cpp.o.d"
+  "CMakeFiles/cdpf_tracking.dir/measurement.cpp.o"
+  "CMakeFiles/cdpf_tracking.dir/measurement.cpp.o.d"
+  "CMakeFiles/cdpf_tracking.dir/motion_model.cpp.o"
+  "CMakeFiles/cdpf_tracking.dir/motion_model.cpp.o.d"
+  "CMakeFiles/cdpf_tracking.dir/trajectory.cpp.o"
+  "CMakeFiles/cdpf_tracking.dir/trajectory.cpp.o.d"
+  "libcdpf_tracking.a"
+  "libcdpf_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpf_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

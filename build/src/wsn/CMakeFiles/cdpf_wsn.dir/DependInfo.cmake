@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsn/comm_stats.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/comm_stats.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/comm_stats.cpp.o.d"
+  "/root/repo/src/wsn/deployment.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/deployment.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/deployment.cpp.o.d"
+  "/root/repo/src/wsn/duty_cycle.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/duty_cycle.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/duty_cycle.cpp.o.d"
+  "/root/repo/src/wsn/energy.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/energy.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/energy.cpp.o.d"
+  "/root/repo/src/wsn/failure.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/failure.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/failure.cpp.o.d"
+  "/root/repo/src/wsn/localization.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/localization.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/localization.cpp.o.d"
+  "/root/repo/src/wsn/network.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/network.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/network.cpp.o.d"
+  "/root/repo/src/wsn/radio.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/radio.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/radio.cpp.o.d"
+  "/root/repo/src/wsn/routing.cpp" "src/wsn/CMakeFiles/cdpf_wsn.dir/routing.cpp.o" "gcc" "src/wsn/CMakeFiles/cdpf_wsn.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cdpf_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cdpf_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cdpf_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

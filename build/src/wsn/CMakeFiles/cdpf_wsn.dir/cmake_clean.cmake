@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpf_wsn.dir/comm_stats.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/comm_stats.cpp.o.d"
+  "CMakeFiles/cdpf_wsn.dir/deployment.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/deployment.cpp.o.d"
+  "CMakeFiles/cdpf_wsn.dir/duty_cycle.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/duty_cycle.cpp.o.d"
+  "CMakeFiles/cdpf_wsn.dir/energy.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/energy.cpp.o.d"
+  "CMakeFiles/cdpf_wsn.dir/failure.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/failure.cpp.o.d"
+  "CMakeFiles/cdpf_wsn.dir/localization.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/localization.cpp.o.d"
+  "CMakeFiles/cdpf_wsn.dir/network.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/network.cpp.o.d"
+  "CMakeFiles/cdpf_wsn.dir/radio.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/radio.cpp.o.d"
+  "CMakeFiles/cdpf_wsn.dir/routing.cpp.o"
+  "CMakeFiles/cdpf_wsn.dir/routing.cpp.o.d"
+  "libcdpf_wsn.a"
+  "libcdpf_wsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpf_wsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

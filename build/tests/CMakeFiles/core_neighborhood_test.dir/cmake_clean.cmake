@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_neighborhood_test.dir/core_neighborhood_test.cpp.o"
+  "CMakeFiles/core_neighborhood_test.dir/core_neighborhood_test.cpp.o.d"
+  "core_neighborhood_test"
+  "core_neighborhood_test.pdb"
+  "core_neighborhood_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_neighborhood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_kalman_test.dir/filters_kalman_test.cpp.o"
+  "CMakeFiles/filters_kalman_test.dir/filters_kalman_test.cpp.o.d"
+  "filters_kalman_test"
+  "filters_kalman_test.pdb"
+  "filters_kalman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_kalman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_kld_test.dir/filters_kld_test.cpp.o"
+  "CMakeFiles/filters_kld_test.dir/filters_kld_test.cpp.o.d"
+  "filters_kld_test"
+  "filters_kld_test.pdb"
+  "filters_kld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_kld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_particle_test.dir/filters_particle_test.cpp.o"
+  "CMakeFiles/filters_particle_test.dir/filters_particle_test.cpp.o.d"
+  "filters_particle_test"
+  "filters_particle_test.pdb"
+  "filters_particle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_particle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

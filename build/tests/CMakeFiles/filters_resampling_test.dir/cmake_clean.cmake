@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_resampling_test.dir/filters_resampling_test.cpp.o"
+  "CMakeFiles/filters_resampling_test.dir/filters_resampling_test.cpp.o.d"
+  "filters_resampling_test"
+  "filters_resampling_test.pdb"
+  "filters_resampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_resampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

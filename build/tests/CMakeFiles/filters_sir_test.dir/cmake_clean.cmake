@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_sir_test.dir/filters_sir_test.cpp.o"
+  "CMakeFiles/filters_sir_test.dir/filters_sir_test.cpp.o.d"
+  "filters_sir_test"
+  "filters_sir_test.pdb"
+  "filters_sir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_sir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

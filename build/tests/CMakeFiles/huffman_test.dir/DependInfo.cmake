@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/huffman_test.cpp" "tests/CMakeFiles/huffman_test.dir/huffman_test.cpp.o" "gcc" "tests/CMakeFiles/huffman_test.dir/huffman_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cdpf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cdpf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/filters/CMakeFiles/cdpf_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsn/CMakeFiles/cdpf_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/cdpf_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/cdpf_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/random/CMakeFiles/cdpf_random.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cdpf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_localization_test.dir/wsn_localization_test.cpp.o"
+  "CMakeFiles/wsn_localization_test.dir/wsn_localization_test.cpp.o.d"
+  "wsn_localization_test"
+  "wsn_localization_test.pdb"
+  "wsn_localization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_localization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

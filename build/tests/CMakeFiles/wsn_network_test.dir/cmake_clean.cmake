@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_network_test.dir/wsn_network_test.cpp.o"
+  "CMakeFiles/wsn_network_test.dir/wsn_network_test.cpp.o.d"
+  "wsn_network_test"
+  "wsn_network_test.pdb"
+  "wsn_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

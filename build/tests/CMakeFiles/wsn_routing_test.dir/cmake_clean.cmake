@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_routing_test.dir/wsn_routing_test.cpp.o"
+  "CMakeFiles/wsn_routing_test.dir/wsn_routing_test.cpp.o.d"
+  "wsn_routing_test"
+  "wsn_routing_test.pdb"
+  "wsn_routing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsn_scheduling_test.dir/wsn_scheduling_test.cpp.o"
+  "CMakeFiles/wsn_scheduling_test.dir/wsn_scheduling_test.cpp.o.d"
+  "wsn_scheduling_test"
+  "wsn_scheduling_test.pdb"
+  "wsn_scheduling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsn_scheduling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

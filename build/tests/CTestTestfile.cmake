@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_test[1]_include.cmake")
+include("/root/repo/build/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/tracking_test[1]_include.cmake")
+include("/root/repo/build/tests/wsn_network_test[1]_include.cmake")
+include("/root/repo/build/tests/wsn_radio_test[1]_include.cmake")
+include("/root/repo/build/tests/wsn_routing_test[1]_include.cmake")
+include("/root/repo/build/tests/wsn_scheduling_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_particle_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_resampling_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_sir_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_kalman_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_kld_test[1]_include.cmake")
+include("/root/repo/build/tests/core_store_test[1]_include.cmake")
+include("/root/repo/build/tests/core_neighborhood_test[1]_include.cmake")
+include("/root/repo/build/tests/core_propagation_test[1]_include.cmake")
+include("/root/repo/build/tests/core_cost_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/wsn_localization_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_gmm_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/huffman_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_variants_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
