@@ -6,11 +6,11 @@
 //   ./tracking_trace [--algo=CDPF] [--density=20] [--seed=42] [--trial=0]
 //                    [--anchor=f] [--boost=f] [--neprune=f]
 //                    [--store=true] [--verbose=true]
+#include <cstdlib>
 #include <iostream>
 
 #include "core/cdpf.hpp"
 #include "sim/experiment.hpp"
-#include "support/log.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -45,7 +45,9 @@ int main(int argc, char** argv) {
     if (algo == sim::algorithm_name(k)) kind = k;
   }
   if (args.get_bool("verbose").value_or(false)) {
-    log::set_threshold(log::Level::kDebug);
+    // The library's logger resolves its threshold from the environment on
+    // first use, so setting this before make_tracker() is sufficient.
+    ::setenv("CDPF_LOG_LEVEL", "debug", /*overwrite=*/1);
   }
   auto tracker = sim::make_tracker(kind, network, radio, params);
   const auto* cdpf_ptr = dynamic_cast<const core::Cdpf*>(tracker.get());

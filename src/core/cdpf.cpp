@@ -39,6 +39,16 @@ Cdpf::Cdpf(wsn::Network& network, wsn::Radio& radio, CdpfConfig config)
   // Keep the two radii configurations coherent by default.
   CDPF_CHECK_MSG(config_.propagation.record_radius > 0.0,
                  "record radius must be positive");
+  // The paper's correctness argument for the overheard total (every recorder
+  // hears every broadcast of the previous round) needs r_s <= r_c / 2.
+  // Experiments may explore violations deliberately, so warn, don't reject.
+  if (!network_.config().overhearing_assumption_holds()) {
+    CDPF_LOG_WARN("CDPF: sensing radius "
+                  << network_.config().sensing_radius
+                  << " m violates r_s <= r_c/2 (comm radius "
+                  << network_.config().comm_radius
+                  << " m); the overheard total may be incomplete");
+  }
 }
 
 std::string_view Cdpf::name() const {
@@ -65,6 +75,7 @@ double Cdpf::new_particle_weight() const {
 }
 
 double Cdpf::rss_weight_factor(double rss_dbm) const {
+  // NaN is the sentinel for "no RSS measured", not invalid input.
   if (!config_.rss_adaptive_weights || std::isnan(rss_dbm)) {
     return 1.0;
   }
@@ -73,8 +84,11 @@ double Cdpf::rss_weight_factor(double rss_dbm) const {
   const tracking::LinearProbabilityModel lin_prob(
       config_.neighborhood.sensing_radius);
   // Floor at 0.1 so a deep fade cannot zero out a genuine detection.
-  return std::max(0.1, lin_prob.probability(std::min(
-                           estimated_distance, config_.neighborhood.sensing_radius)));
+  const double factor =
+      std::max(0.1, lin_prob.probability(std::min(
+                        estimated_distance, config_.neighborhood.sensing_radius)));
+  CDPF_ASSERT(factor > 0.0 && factor <= 1.0);
+  return factor;
 }
 
 void Cdpf::initialize_from_detections(const SensingSnapshot& snapshot, rng::Rng& rng) {
@@ -89,6 +103,8 @@ void Cdpf::initialize_from_detections(const SensingSnapshot& snapshot, rng::Rng&
 }
 
 void Cdpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rng) {
+  CDPF_CHECK_MSG(std::isfinite(truth.position.x) && std::isfinite(truth.position.y),
+                 "target position must be finite");
   // Assemble the snapshot the sensor field would report: the detecting
   // nodes, their bearing measurements, and (when RSS weighting is on) the
   // received signal strengths.
@@ -109,6 +125,7 @@ void Cdpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rn
 
 void Cdpf::iterate_snapshot(const SensingSnapshot& snapshot, double time,
                             rng::Rng& rng) {
+  CDPF_CHECK_MSG(std::isfinite(time), "iteration time must be finite");
   last_iteration_time_ = time;
   has_iterated_ = true;
 

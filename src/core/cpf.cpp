@@ -70,6 +70,7 @@ std::string_view CentralizedPf::name() const {
 }
 
 double CentralizedPf::quantize(double bearing_rad) const {
+  CDPF_CHECK_MSG(std::isfinite(bearing_rad), "bearing must be finite");
   if (!config_.quantization_levels) {
     return bearing_rad;
   }
@@ -85,6 +86,7 @@ double CentralizedPf::quantize(double bearing_rad) const {
 
 void CentralizedPf::iterate(const tracking::TargetState& truth, double time,
                             rng::Rng& rng) {
+  CDPF_CHECK_MSG(std::isfinite(time), "iteration time must be finite");
   const std::vector<wsn::NodeId> detecting = network_.detecting_nodes(truth.position);
 
   // Convergecast: one measurement per detecting node, hop by hop to the

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/check.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::core {
 
@@ -35,6 +36,7 @@ void GmmDpf::reinitialize_cloud(geom::Vec2 center, rng::Rng& rng) {
 }
 
 void GmmDpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rng) {
+  CDPF_CHECK_MSG(std::isfinite(time), "iteration time must be finite");
   const std::vector<wsn::NodeId> detecting = network_.detecting_nodes(truth.position);
 
   if (detecting.empty()) {
@@ -133,11 +135,12 @@ void GmmDpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& 
       ll[i] = sum;
       max_ll = std::max(max_ll, sum);
     }
-    double total = 0.0;
+    support::NeumaierSum sum;
     for (std::size_t i = 0; i < cloud_.size(); ++i) {
       cloud_[i].weight *= std::exp(ll[i] - max_ll);
-      total += cloud_[i].weight;
+      sum.add(cloud_[i].weight);
     }
+    const double total = sum.value();
     if (total > 0.0) {
       filters::normalize_weights(cloud_, total);
       filters::resample_particles(cloud_, config_.num_particles, config_.resampling,

@@ -1,6 +1,7 @@
 #include "core/multi_target.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 
@@ -22,6 +23,7 @@ MultiTargetTracker::MultiTargetTracker(wsn::Network& network, wsn::Radio& radio,
 
 void MultiTargetTracker::iterate(std::span<const tracking::TargetState> truths,
                                  double time, rng::Rng& rng) {
+  CDPF_CHECK_MSG(std::isfinite(time), "iteration time must be finite");
   // --- Physical sensing: each active node detects the NEAREST target
   // within its sensing radius and measures a bearing toward it. -----------
   std::vector<SensingSnapshot::Detection> detections;
@@ -144,6 +146,7 @@ void MultiTargetTracker::spawn_tracks(
     const std::vector<SensingSnapshot::Detection>& unassigned,
     const std::vector<SensingSnapshot::Measurement>& measurements, double time,
     rng::Rng& rng) {
+  CDPF_ASSERT(std::isfinite(time));
   if (unassigned.size() < config_.spawn_min_detections ||
       tracks_.size() >= config_.max_tracks) {
     return;

@@ -1,8 +1,10 @@
 #include "core/neighborhood_estimation.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::core {
 
@@ -29,14 +31,27 @@ std::vector<double> estimated_contributions(std::span<const geom::Vec2> position
   if (positions.empty()) {
     return contributions;
   }
-  double inv_sum = 0.0;  // D = sum_j 1/d_j
+  support::NeumaierSum inv_sum;  // D = sum_j 1/d_j
   for (std::size_t i = 0; i < positions.size(); ++i) {
     contributions[i] = 1.0 / clamped_distance(positions[i], predicted_position, config);
-    inv_sum += contributions[i];
+    inv_sum.add(contributions[i]);
   }
   for (double& c : contributions) {
-    c /= inv_sum;  // c_i = (1/d_i) / D
+    c /= inv_sum.value();  // c_i = (1/d_i) / D
   }
+  // CDPF-NE invariant: the estimated contributions form a probability
+  // distribution over the area nodes — each in [0, 1] and summing to one —
+  // otherwise the weight assignment silently injects or removes mass.
+  CDPF_ASSERT([&] {
+    support::NeumaierSum check;
+    for (const double c : contributions) {
+      if (!(std::isfinite(c) && c >= 0.0 && c <= 1.0)) {
+        return false;
+      }
+      check.add(c);
+    }
+    return std::abs(check.value() - 1.0) <= 1e-9;
+  }());
   return contributions;
 }
 
@@ -45,11 +60,15 @@ double own_contribution(geom::Vec2 self, std::span<const geom::Vec2> others,
                         const NeighborhoodEstimationConfig& config) {
   CDPF_CHECK_MSG(config.min_distance_m > 0.0, "min distance clamp must be positive");
   const double own_inv = 1.0 / clamped_distance(self, predicted_position, config);
-  double inv_sum = own_inv;
+  support::NeumaierSum inv_sum;
+  inv_sum.add(own_inv);
   for (const geom::Vec2 other : others) {
-    inv_sum += 1.0 / clamped_distance(other, predicted_position, config);
+    inv_sum.add(1.0 / clamped_distance(other, predicted_position, config));
   }
-  return own_inv / inv_sum;
+  const double contribution = own_inv / inv_sum.value();
+  CDPF_ASSERT(std::isfinite(contribution) && contribution >= 0.0 &&
+              contribution <= 1.0);
+  return contribution;
 }
 
 }  // namespace cdpf::core

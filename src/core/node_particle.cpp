@@ -1,15 +1,21 @@
 #include "core/node_particle.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::core {
 
 void ParticleStore::add(wsn::NodeId host, geom::Vec2 velocity, double weight) {
+  CDPF_CHECK_MSG(std::isfinite(weight), "particle weight must be finite");
   CDPF_CHECK_MSG(weight >= 0.0, "particle weight must be non-negative");
   auto [it, inserted] = particles_.try_emplace(host, NodeParticle{host, velocity, weight});
   if (!inserted) {
+    // Combine rule (paper §III-B): arriving mass adds, the velocity becomes
+    // the mass-weighted mean — the combined particle carries exactly the sum
+    // of the combined weights.
     NodeParticle& existing = it->second;
     const double total = existing.weight + weight;
     if (total > 0.0) {
@@ -17,15 +23,13 @@ void ParticleStore::add(wsn::NodeId host, geom::Vec2 velocity, double weight) {
           (existing.velocity * existing.weight + velocity * weight) / total;
     }
     existing.weight = total;
+    CDPF_ASSERT(std::isfinite(existing.weight));
   }
 }
 
 double ParticleStore::total_weight() const {
-  double total = 0.0;
-  for (const auto& [host, p] : particles_) {
-    total += p.weight;
-  }
-  return total;
+  return support::weight_total(
+      particles_, [](const auto& entry) { return entry.second.weight; });
 }
 
 const NodeParticle* ParticleStore::find(wsn::NodeId host) const {
@@ -38,6 +42,9 @@ void ParticleStore::scale_weight(wsn::NodeId host, double factor) {
   const auto it = particles_.find(host);
   CDPF_CHECK_MSG(it != particles_.end(), "no particle hosted on this node");
   it->second.weight *= factor;
+  // Likelihood assignment lands here (w <- w * p(z|x)); a NaN factor or an
+  // overflowing product would silently poison every later total.
+  CDPF_ASSERT(std::isfinite(it->second.weight));
 }
 
 void ParticleStore::raise_weight_to(wsn::NodeId host, double weight) {
@@ -56,6 +63,8 @@ void ParticleStore::normalize(double total) {
 }
 
 std::size_t ParticleStore::prune_below(double threshold) {
+  CDPF_CHECK_MSG(std::isfinite(threshold) && threshold >= 0.0,
+                 "prune threshold must be finite and non-negative");
   std::size_t dropped = 0;
   for (auto it = particles_.begin(); it != particles_.end();) {
     if (it->second.weight < threshold) {
@@ -115,13 +124,13 @@ std::size_t MultiParticleStore::particle_count() const {
 }
 
 double MultiParticleStore::total_weight() const {
-  double total = 0.0;
+  support::NeumaierSum total;
   for (const auto& [host, list] : hosts_) {
     for (const HostedParticle& p : list) {
-      total += p.weight;
+      total.add(p.weight);
     }
   }
-  return total;
+  return total.value();
 }
 
 void MultiParticleStore::normalize(double total) {
@@ -144,12 +153,12 @@ std::vector<HostedParticle>* MultiParticleStore::find_mutable(wsn::NodeId host) 
 }
 
 std::size_t MultiParticleStore::prune_hosts_below(double threshold) {
+  CDPF_CHECK_MSG(std::isfinite(threshold) && threshold >= 0.0,
+                 "prune threshold must be finite and non-negative");
   std::size_t dropped = 0;
   for (auto it = hosts_.begin(); it != hosts_.end();) {
-    double mass = 0.0;
-    for (const HostedParticle& p : it->second) {
-      mass += p.weight;
-    }
+    const double mass = support::weight_total(
+        it->second, [](const HostedParticle& p) { return p.weight; });
     if (mass < threshold) {
       it = hosts_.erase(it);
       ++dropped;

@@ -1,11 +1,22 @@
 #include "core/propagation.hpp"
 
+#include <cmath>
 #include <limits>
 #include <vector>
 
 #include "support/check.hpp"
 
 namespace cdpf::core {
+
+void OverheardAggregate::add(double weight, geom::Vec2 position, geom::Vec2 velocity) {
+  CDPF_ASSERT(std::isfinite(weight) && weight >= 0.0);
+  weight_sum_.add(weight);
+  total_weight = weight_sum_.value();
+  weighted_position += position * weight;
+  weighted_velocity += velocity * weight;
+  weighted_speed += velocity.norm() * weight;
+  ++particles_heard;
+}
 
 tracking::TargetState OverheardAggregate::estimate() const {
   CDPF_CHECK_MSG(total_weight > 0.0, "overheard estimate needs positive total weight");
@@ -28,6 +39,12 @@ PropagationOutcome propagate_particles(const ParticleStore& store,
       radio.payloads().particle + radio.payloads().weight;
 
   PropagationOutcome outcome;
+  support::NeumaierSum lost_weight;
+#ifndef NDEBUG
+  // Mass lost WITHOUT a broadcast (dead/sleeping hosts) — the only part of
+  // the input total the overheard global aggregate legitimately misses.
+  support::NeumaierSum silent_lost_weight;
+#endif
   std::vector<wsn::NodeId> receivers;
   std::vector<wsn::NodeId> recorders;
   std::vector<double> probabilities;
@@ -35,10 +52,15 @@ PropagationOutcome propagate_particles(const ParticleStore& store,
   // Deterministic host order so rng consumption is reproducible.
   for (const wsn::NodeId host : store.sorted_hosts()) {
     const NodeParticle& particle = *store.find(host);
+    CDPF_ASSERT(std::isfinite(particle.weight));
     if (!network.is_active(host)) {
       // A host that died or fell asleep between iterations cannot
       // broadcast; its particle (and weight mass) is lost.
       ++outcome.lost_particles;
+      lost_weight.add(particle.weight);
+#ifndef NDEBUG
+      silent_lost_weight.add(particle.weight);
+#endif
       continue;
     }
     const geom::Vec2 host_position = network.position(host);
@@ -49,23 +71,11 @@ PropagationOutcome propagate_particles(const ParticleStore& store,
 
     // Overhearing: every receiver (plus the broadcaster, trivially) learns
     // this particle's weight and state.
-    auto overhear = [&](wsn::NodeId listener) {
-      OverheardAggregate& agg = outcome.overheard[listener];
-      agg.total_weight += particle.weight;
-      agg.weighted_position += host_position * particle.weight;
-      agg.weighted_velocity += particle.velocity * particle.weight;
-      agg.weighted_speed += particle.velocity.norm() * particle.weight;
-      ++agg.particles_heard;
-    };
-    overhear(host);
+    outcome.overheard[host].add(particle.weight, host_position, particle.velocity);
     for (const wsn::NodeId r : receivers) {
-      overhear(r);
+      outcome.overheard[r].add(particle.weight, host_position, particle.velocity);
     }
-    outcome.global.total_weight += particle.weight;
-    outcome.global.weighted_position += host_position * particle.weight;
-    outcome.global.weighted_velocity += particle.velocity * particle.weight;
-    outcome.global.weighted_speed += particle.velocity.norm() * particle.weight;
-    ++outcome.global.particles_heard;
+    outcome.global.add(particle.weight, host_position, particle.velocity);
 
     // Recorders: receivers inside the predicted area by the linear model.
     recorders.clear();
@@ -83,6 +93,7 @@ PropagationOutcome propagate_particles(const ParticleStore& store,
     if (recorders.empty()) {
       if (!config.fallback_to_nearest || receivers.empty()) {
         ++outcome.lost_particles;
+        lost_weight.add(particle.weight);
         continue;
       }
       wsn::NodeId nearest = receivers.front();
@@ -102,6 +113,9 @@ PropagationOutcome propagate_particles(const ParticleStore& store,
     // Division rule (paper §III-B): total weight preserved; weight ratios
     // equal the linear-model probability ratios. Each recorded copy draws
     // its own process-noise realization (prior as importance density).
+#ifndef NDEBUG
+    support::NeumaierSum divided;
+#endif
     for (std::size_t i = 0; i < recorders.size(); ++i) {
       const double weight = particle.weight * probabilities[i] / probability_sum;
       const tracking::TargetState sampled =
@@ -114,9 +128,30 @@ PropagationOutcome propagate_particles(const ParticleStore& store,
           velocity = displacement.normalized() * sampled.velocity.norm();
         }
       }
+#ifndef NDEBUG
+      divided.add(weight);
+#endif
       outcome.next.add(recorders[i], velocity, weight);
     }
+    // Division rule 1: the recorded copies carry exactly the divided
+    // particle's mass.
+    CDPF_ASSERT(std::abs(divided.value() - particle.weight) <=
+                1e-12 + 1e-9 * particle.weight);
   }
+  outcome.lost_weight = lost_weight.value();
+  // Combine/divide conservation (paper §III-B): recording re-hosts mass but
+  // never creates or destroys it, so what was not lost must be in `next`;
+  // and the overheard global total — the divisor the correction step
+  // normalizes by — covers every broadcast particle, missing only the mass
+  // of hosts that never transmitted.
+  CDPF_ASSERT([&] {
+    const double total_in = store.total_weight();
+    const double scale = std::max(1.0, total_in);
+    return std::abs(outcome.next.total_weight() + outcome.lost_weight - total_in) <=
+               1e-9 * scale &&
+           std::abs(outcome.global.total_weight + silent_lost_weight.value() -
+                    total_in) <= 1e-9 * scale;
+  }());
   return outcome;
 }
 

@@ -23,6 +23,7 @@
 #include "core/node_particle.hpp"
 #include "geom/vec2.hpp"
 #include "random/rng.hpp"
+#include "support/statistics.hpp"
 #include "tracking/detection.hpp"
 #include "tracking/motion_model.hpp"
 #include "wsn/network.hpp"
@@ -60,6 +61,12 @@ struct OverheardAggregate {
   double weighted_speed = 0.0;     // sum of w_i * |velocity_i|
   std::size_t particles_heard = 0;
 
+  /// Fold one overheard broadcast into the aggregate. The weight total uses
+  /// a compensated sum: the correction step divides by it and the
+  /// conservation invariant compares it against the recorded total, so its
+  /// error must not grow with the number of broadcasts heard.
+  void add(double weight, geom::Vec2 position, geom::Vec2 velocity);
+
   /// Estimate of the previous-iteration target state from the overheard
   /// particles (the correction step's estimate). The velocity estimate is
   /// the mean DIRECTION rescaled to the mean SPEED: averaging velocity
@@ -67,6 +74,9 @@ struct OverheardAggregate {
   /// which would make every prediction lag the target. Requires
   /// total_weight > 0.
   tracking::TargetState estimate() const;
+
+ private:
+  support::NeumaierSum weight_sum_;
 };
 
 struct PropagationOutcome {
@@ -82,6 +92,10 @@ struct PropagationOutcome {
   std::size_t num_broadcasts = 0;
   /// Particles that found no recorder (only possible with the fallback off).
   std::size_t lost_particles = 0;
+  /// Weight mass carried by the lost particles. Conservation invariant:
+  /// next.total_weight() + lost_weight == input store total (the division
+  /// rule preserves mass, so only lost particles may remove any).
+  double lost_weight = 0.0;
 };
 
 /// Run one propagation round for `store` over `network`, charging the

@@ -6,6 +6,7 @@
 
 #include "support/check.hpp"
 #include "support/log.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::core {
 
@@ -69,6 +70,7 @@ void Sdpf::seed_detecting_nodes(const tracking::TargetState& truth, rng::Rng& rn
 }
 
 void Sdpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rng) {
+  CDPF_CHECK_MSG(std::isfinite(time), "iteration time must be finite");
   if (store_.empty()) {
     seed_detecting_nodes(truth, rng);
     if (store_.empty()) {
@@ -198,19 +200,17 @@ void Sdpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rn
   // answers with its local weights (one message of N_i * D_w bytes), and
   // the transceiver broadcasts the total ("+2" in the paper's accounting).
   radio_.transceiver_broadcast(wsn::MessageKind::kControl, radio_.payloads().control);
-  double total = 0.0;
+  support::NeumaierSum total_sum;
   for (const wsn::NodeId host : store_.sorted_hosts()) {
     const std::vector<HostedParticle>& list = *store_.find(host);
-    double local = 0.0;
-    for (const HostedParticle& p : list) {
-      local += p.weight;
-    }
-    total += local;
+    total_sum.add(support::weight_total(
+        list, [](const HostedParticle& p) { return p.weight; }));
     radio_.send_to_transceiver(host, wsn::MessageKind::kWeight,
                                radio_.payloads().weight * list.size());
   }
   radio_.transceiver_broadcast(wsn::MessageKind::kAggregate, radio_.payloads().weight);
 
+  const double total = total_sum.value();
   if (total <= 0.0) {
     CDPF_LOG_DEBUG("SDPF: total weight vanished at t=" << time << ", reseeding");
     store_.clear();
@@ -226,10 +226,8 @@ void Sdpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rn
   // global total, but not the particle states, is shared).
   for (const wsn::NodeId host : store_.sorted_hosts()) {
     std::vector<HostedParticle>& list = *store_.find_mutable(host);
-    double local = 0.0;
-    for (const HostedParticle& p : list) {
-      local += p.weight;
-    }
+    const double local = support::weight_total(
+        list, [](const HostedParticle& p) { return p.weight; });
     if (local <= 0.0 || list.size() <= 1) {
       continue;
     }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/check.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::filters {
 
@@ -69,19 +70,19 @@ void AuxiliaryParticleFilter::step(const LogLikelihood& log_likelihood,
   // Second stage: propagate the chosen ancestors and correct the weights.
   std::vector<Particle> next;
   next.reserve(n);
-  double total = 0.0;
+  support::NeumaierSum total;
   for (const std::size_t a : ancestors) {
     Particle p;
     p.state = model_->sample(particles_[a].state, rng);
     const double ll = log_likelihood(p.state);
     p.weight = std::isfinite(ll) ? std::exp(std::clamp(ll - mu_ll[a], -600.0, 600.0))
                                  : 0.0;
-    total += p.weight;
+    total.add(p.weight);
     next.push_back(p);
   }
   particles_ = std::move(next);
-  if (total > 0.0) {
-    normalize_weights(particles_, total);
+  if (total.value() > 0.0) {
+    normalize_weights(particles_, total.value());
   } else {
     const double w = 1.0 / static_cast<double>(n);
     for (Particle& p : particles_) {

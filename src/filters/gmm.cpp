@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "support/check.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::filters {
 
@@ -46,11 +47,12 @@ geom::Vec2 Gaussian2D::sample(rng::Rng& rng) const {
 
 GaussianMixture::GaussianMixture(std::vector<Gaussian2D> components)
     : components_(std::move(components)) {
-  double total = 0.0;
+  support::NeumaierSum sum;
   for (const Gaussian2D& c : components_) {
     CDPF_CHECK_MSG(c.weight >= 0.0, "component weights must be non-negative");
-    total += c.weight;
+    sum.add(c.weight);
   }
+  const double total = sum.value();
   CDPF_CHECK_MSG(components_.empty() || total > 0.0,
                  "mixture needs positive total weight");
   for (Gaussian2D& c : components_) {

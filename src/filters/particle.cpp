@@ -1,15 +1,12 @@
 #include "filters/particle.hpp"
 
 #include "support/check.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::filters {
 
 double total_weight(std::span<const Particle> particles) {
-  double total = 0.0;
-  for (const Particle& p : particles) {
-    total += p.weight;
-  }
-  return total;
+  return support::weight_total(particles, [](const Particle& p) { return p.weight; });
 }
 
 void normalize_weights(std::span<Particle> particles, double total) {
@@ -25,10 +22,8 @@ void normalize_weights(std::span<Particle> particles) {
 }
 
 double effective_sample_size(std::span<const Particle> particles) {
-  double sum_sq = 0.0;
-  for (const Particle& p : particles) {
-    sum_sq += p.weight * p.weight;
-  }
+  const double sum_sq = support::weight_total(
+      particles, [](const Particle& p) { return p.weight * p.weight; });
   return sum_sq > 0.0 ? 1.0 / sum_sq : 0.0;
 }
 

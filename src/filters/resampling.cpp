@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/check.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::filters {
 
@@ -21,13 +22,13 @@ namespace {
 
 double checked_total(std::span<const double> weights) {
   CDPF_CHECK_MSG(!weights.empty(), "resampling needs at least one weight");
-  double total = 0.0;
+  support::NeumaierSum total;
   for (const double w : weights) {
     CDPF_CHECK_MSG(w >= 0.0, "weights must be non-negative");
-    total += w;
+    total.add(w);
   }
-  CDPF_CHECK_MSG(total > 0.0, "resampling needs a positive total weight");
-  return total;
+  CDPF_CHECK_MSG(total.value() > 0.0, "resampling needs a positive total weight");
+  return total.value();
 }
 
 /// Walk the cumulative weights with `count` ordered pointers produced by
@@ -38,13 +39,14 @@ std::vector<std::size_t> ordered_pointer_resample(std::span<const double> weight
                                                   PointerFn pointer) {
   std::vector<std::size_t> indices;
   indices.reserve(count);
-  double cumulative = weights[0];
+  support::NeumaierSum cumulative;
+  cumulative.add(weights[0]);
   std::size_t j = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const double u = pointer(i) * total;
-    while (u > cumulative && j + 1 < weights.size()) {
+    while (u > cumulative.value() && j + 1 < weights.size()) {
       ++j;
-      cumulative += weights[j];
+      cumulative.add(weights[j]);
     }
     indices.push_back(j);
   }
@@ -65,10 +67,10 @@ std::vector<std::size_t> resample_indices(std::span<const double> weights,
       // particle counts used here (<= a few thousand) the direct inverse-CDF
       // per draw is simpler and fast enough.
       std::vector<double> cumulative(weights.size());
-      double acc = 0.0;
+      support::NeumaierSum acc;
       for (std::size_t i = 0; i < weights.size(); ++i) {
-        acc += weights[i];
-        cumulative[i] = acc;
+        acc.add(weights[i]);
+        cumulative[i] = acc.value();
       }
       std::vector<std::size_t> indices;
       indices.reserve(count);

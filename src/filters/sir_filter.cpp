@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/check.hpp"
+#include "support/statistics.hpp"
 
 namespace cdpf::filters {
 
@@ -66,11 +67,12 @@ double SirFilter::update(
     }
     return -std::numeric_limits<double>::infinity();
   }
-  double total = 0.0;
+  support::NeumaierSum sum;
   for (std::size_t i = 0; i < particles_.size(); ++i) {
     particles_[i].weight *= std::exp(ll[i] - max_ll);
-    total += particles_[i].weight;
+    sum.add(particles_[i].weight);
   }
+  const double total = sum.value();
   if (total <= 0.0) {
     const double w = 1.0 / static_cast<double>(particles_.size());
     for (Particle& p : particles_) {

@@ -30,7 +30,7 @@ std::uint64_t BitReader::read(std::size_t count) {
   std::uint64_t value = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t byte_index = position_ / 8;
-    const bool bit = (buffer_[byte_index] >> (7 - position_ % 8)) & 1u;
+    const bool bit = ((buffer_[byte_index] >> (7 - position_ % 8)) & 1) != 0;
     value = (value << 1) | (bit ? 1ULL : 0ULL);
     ++position_;
   }

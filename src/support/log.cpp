@@ -1,13 +1,35 @@
 #include "support/log.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
 namespace cdpf::log {
 namespace {
 
-std::atomic<Level> g_threshold{Level::kWarning};
+/// Initial threshold: the CDPF_LOG_LEVEL environment variable
+/// (debug/info/warning/error/off, case-sensitive) when set and valid,
+/// Warning otherwise. Lets examples and headless CI runs raise verbosity
+/// without linking against the logger's mutable configuration API.
+Level initial_threshold() {
+  const char* env = std::getenv("CDPF_LOG_LEVEL");
+  if (env == nullptr) {
+    return Level::kWarning;
+  }
+  const std::string_view name(env);
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warning") return Level::kWarning;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kWarning;
+}
+
+// -1 = not yet initialized; resolved lazily on first use so a process may
+// still setenv("CDPF_LOG_LEVEL", ...) early in main(). Racing initializers
+// all compute the same value, so the relaxed store is benign.
+std::atomic<int> g_threshold{-1};
 std::mutex g_mutex;
 Sink g_sink;  // guarded by g_mutex; empty => stderr
 
@@ -28,9 +50,18 @@ std::string_view level_name(Level level) {
   return "?";
 }
 
-Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
+Level threshold() {
+  int level = g_threshold.load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(initial_threshold());
+    g_threshold.store(level, std::memory_order_relaxed);
+  }
+  return static_cast<Level>(level);
+}
 
-void set_threshold(Level level) { g_threshold.store(level, std::memory_order_relaxed); }
+void set_threshold(Level level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 void set_sink(Sink sink) {
   std::lock_guard lock(g_mutex);

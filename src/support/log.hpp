@@ -20,6 +20,9 @@ enum class Level : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff =
 std::string_view level_name(Level level);
 
 /// Globally enabled minimum level; messages below it are dropped cheaply.
+/// The initial value comes from the CDPF_LOG_LEVEL environment variable
+/// (debug/info/warning/error/off), defaulting to Warning; it is resolved
+/// lazily at the first log call, so a process may setenv() early in main().
 Level threshold();
 void set_threshold(Level level);
 

@@ -97,8 +97,8 @@ TEST_P(ResamplingSchemes, ParticleResamplingPreservesMass) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, ResamplingSchemes, ::testing::ValuesIn(kSchemes),
-                         [](const auto& info) {
-                           return std::string(resampling_scheme_name(info.param));
+                         [](const auto& param_info) {
+                           return std::string(resampling_scheme_name(param_info.param));
                          });
 
 TEST(Resampling, ResidualDeterministicPart) {

@@ -152,7 +152,8 @@ TEST_P(OrderingSweep, DistributedFiltersBeatSdpfEverywhere) {
   ASSERT_TRUE(cdpf.outcome.produced_estimates());
   ASSERT_TRUE(ne.outcome.produced_estimates());
   // CDPF always transmits far less than SDPF; NE transmits the least.
-  EXPECT_LT(cdpf.outcome.comm.total_bytes(), 0.4 * sdpf.outcome.comm.total_bytes());
+  EXPECT_LT(static_cast<double>(cdpf.outcome.comm.total_bytes()),
+            0.4 * static_cast<double>(sdpf.outcome.comm.total_bytes()));
   EXPECT_LT(ne.outcome.comm.total_bytes(), cdpf.outcome.comm.total_bytes());
   EXPECT_LT(ne.outcome.comm.total_messages(), cdpf.outcome.comm.total_messages());
   // NE uses only particle-propagation traffic.

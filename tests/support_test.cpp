@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <source_location>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "support/check.hpp"
@@ -34,6 +37,72 @@ TEST(Check, MessageIsAppended) {
     EXPECT_NE(std::string(e.what()).find("flux capacitor"), std::string::npos);
   }
 }
+
+TEST(Check, SourceLocationNamesThisFileAndLine) {
+  const std::source_location before = std::source_location::current();
+  try {
+    CDPF_CHECK(false);
+    FAIL() << "expected cdpf::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    const std::source_location after = std::source_location::current();
+    // std::source_location::current() is evaluated inside the macro
+    // expansion, so the failure must point at the CDPF_CHECK use site,
+    // not at check.cpp.
+    EXPECT_NE(what.find("support_test.cpp"), std::string::npos) << what;
+    EXPECT_EQ(what.find("check.cpp"), std::string::npos) << what;
+    bool line_in_range = false;
+    for (auto line = before.line(); line <= after.line(); ++line) {
+      if (what.find(':' + std::to_string(line)) != std::string::npos) {
+        line_in_range = true;
+      }
+    }
+    EXPECT_TRUE(line_in_range)
+        << what << " (expected a line in [" << before.line() << ", "
+        << after.line() << "])";
+  }
+}
+
+TEST(Check, MessageFollowsExpressionAndLocation) {
+  try {
+    CDPF_CHECK_MSG(1 > 2, "ordering is broken");
+    FAIL() << "expected cdpf::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    const auto expr_pos = what.find("1 > 2");
+    const auto file_pos = what.find("support_test.cpp");
+    const auto msg_pos = what.find("ordering is broken");
+    ASSERT_NE(expr_pos, std::string::npos) << what;
+    ASSERT_NE(file_pos, std::string::npos) << what;
+    ASSERT_NE(msg_pos, std::string::npos) << what;
+    EXPECT_LT(expr_pos, file_pos);
+    EXPECT_LT(file_pos, msg_pos);
+  }
+}
+
+TEST(Check, ErrorIsCatchableAsRuntimeError) {
+  // Callers that do not know about cdpf::Error must still be able to
+  // catch validation failures generically.
+  EXPECT_THROW(CDPF_CHECK_MSG(false, "generic"), std::runtime_error);
+}
+
+TEST(Check, CheckExpressionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  CDPF_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#ifndef NDEBUG
+TEST(Check, AssertActiveInDebugBuilds) {
+  EXPECT_THROW(CDPF_ASSERT(false), Error);
+}
+#else
+TEST(Check, AssertCompiledOutInReleaseBuilds) {
+  int evaluations = 0;
+  CDPF_ASSERT(++evaluations > 0);  // must not evaluate the expression
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
 
 TEST(Log, ThresholdFiltersMessages) {
   std::vector<std::string> lines;

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Format check: report clang-format drift without rewriting anything.
+#
+# Usage: tools/check_format.sh [file...]
+#   With no arguments, checks every tracked C++ file under src/, tests/,
+#   bench/, and examples/.
+#
+# Environment:
+#   CLANG_FORMAT  clang-format binary to use (default: first of
+#                 clang-format, clang-format-18..14 found on PATH).
+#
+# Exit status: 0 clean (or tool unavailable — reported, not fatal, so local
+# boxes without LLVM can still run the lint suite); 1 drift found.
+set -u -o pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+clang_format="${CLANG_FORMAT:-}"
+if [[ -z "${clang_format}" ]]; then
+  for candidate in clang-format clang-format-18 clang-format-17 \
+      clang-format-16 clang-format-15 clang-format-14; do
+    if command -v "${candidate}" >/dev/null 2>&1; then
+      clang_format="${candidate}"
+      break
+    fi
+  done
+fi
+if [[ -z "${clang_format}" ]] || ! command -v "${clang_format}" >/dev/null 2>&1; then
+  echo "check_format: clang-format not found; skipping (install LLVM or set CLANG_FORMAT)" >&2
+  exit 0
+fi
+
+if [[ $# -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+      'tests/*.cpp' 'tests/*.hpp' 'bench/*.cpp' 'examples/*.cpp')
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if ! diff_out="$("${clang_format}" --style=file "${f}" | diff -u "${f}" - 2>&1)"; then
+    echo "check_format: ${f} is not clang-format clean:" >&2
+    echo "${diff_out}" >&2
+    status=1
+  fi
+done
+
+if [[ ${status} -eq 0 ]]; then
+  echo "check_format: clean ($("${clang_format}" --version | head -1), ${#files[@]} files)"
+fi
+exit ${status}
