@@ -59,12 +59,12 @@ int main(int argc, char** argv) {
                           {0.3, false, 0}, {0.3, true, 0},  {0.3, true, 99}};
     for (const Case& c : cases) {
       const auto hook = duty_hook(c.fraction, c.tdss, c.random_seed);
-      const auto cdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf,
-                                             params, options.trials, options.seed, 1,
-                                             hook);
-      const auto ne = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe,
-                                           params, options.trials, options.seed, 1,
-                                           hook);
+      const auto cdpf =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
+                               options.trials, options.seed, options.workers, hook);
+      const auto ne =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
+                               options.trials, options.seed, options.workers, hook);
       auto row = table.row();
       row.cell(c.fraction, 1)
           .cell(c.tdss ? "on" : "off")

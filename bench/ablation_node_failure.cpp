@@ -33,13 +33,16 @@ int main(int argc, char** argv) {
       };
       const auto cdpf =
           sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
-                               options.trials, options.seed, 1, hook_factory);
+                               options.trials, options.seed, options.workers,
+                               hook_factory);
       const auto ne =
           sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
-                               options.trials, options.seed, 1, hook_factory);
+                               options.trials, options.seed, options.workers,
+                               hook_factory);
       const auto sdpf =
           sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf, params,
-                               options.trials, options.seed, 1, hook_factory);
+                               options.trials, options.seed, options.workers,
+                               hook_factory);
       auto row = table.row();
       row.cell(fraction, 1)
           .cell(cdpf.rmse.mean(), 2)

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
       params.cdpf.sigma_bearing = sigma;
       auto run = [&](sim::AlgorithmKind kind) {
         return sim::run_monte_carlo(scenario, kind, params, options.trials,
-                                    options.seed)
+                                    options.seed, options.workers)
             .rmse.mean();
       };
       auto row = table.row();

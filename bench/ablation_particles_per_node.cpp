@@ -22,8 +22,9 @@ int main(int argc, char** argv) {
     scenario.density_per_100m2 = density;
 
     const sim::AlgorithmParams baseline;
-    const auto cdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf,
-                                           baseline, options.trials, options.seed);
+    const auto cdpf =
+        sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, baseline,
+                             options.trials, options.seed, options.workers);
 
     std::cout << "Ablation A2 — SDPF particles per detecting node (density "
               << density << ", " << options.trials << " trials; CDPF reference: "
@@ -36,8 +37,9 @@ int main(int argc, char** argv) {
                                 std::size_t{8}, std::size_t{16}}) {
       sim::AlgorithmParams params;
       params.sdpf.particles_per_detection = n;
-      const auto sdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf,
-                                             params, options.trials, options.seed);
+      const auto sdpf =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf, params,
+                               options.trials, options.seed, options.workers);
       auto row = table.row();
       row.cell(n)
           .cell(sdpf.total_bytes.mean(), 0)

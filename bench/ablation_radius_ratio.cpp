@@ -25,6 +25,9 @@ double incomplete_overhearing_fraction(const sim::Scenario& scenario,
   core::CdpfConfig config;
   config.propagation.record_radius = scenario.network.sensing_radius;
   config.neighborhood.sensing_radius = scenario.network.sensing_radius;
+  // This probe reads the per-node overheard totals; the filter itself only
+  // needs the global aggregate, so the table is opt-in.
+  config.propagation.per_node_overhearing = true;
   core::Cdpf filter(network, radio, config);
   const tracking::Trajectory trajectory =
       tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
@@ -32,14 +35,14 @@ double incomplete_overhearing_fraction(const sim::Scenario& scenario,
   std::size_t recorders = 0, incomplete = 0;
   for (double t = 0.0; t <= trajectory.duration() + 1e-9; t += config.dt) {
     filter.iterate(trajectory.at_time(t), t, rng);
-    if (const auto& prop = filter.last_propagation()) {
+    if (const auto* prop = filter.last_propagation()) {
       // Only recorders matter: they are the nodes whose correction step
       // consumes the overheard total.
-      for (const auto& [node, particle] : prop->next.by_host()) {
+      for (const wsn::NodeId node : filter.last_recorder_hosts()) {
         ++recorders;
-        const auto it = prop->overheard.find(node);
-        if (it == prop->overheard.end() ||
-            it->second.total_weight < prop->global.total_weight - 1e-9) {
+        const auto* heard = prop->overheard.find(node);
+        if (heard == nullptr ||
+            heard->total_weight < prop->global.total_weight - 1e-9) {
           ++incomplete;
         }
       }
@@ -72,10 +75,12 @@ int main(int argc, char** argv) {
       params.cdpf.propagation.record_radius = rs;
       params.cdpf.neighborhood.sensing_radius = rs;
 
-      const auto cdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf,
-                                             params, options.trials, options.seed);
-      const auto ne = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe,
-                                           params, options.trials, options.seed);
+      const auto cdpf =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
+                               options.trials, options.seed, options.workers);
+      const auto ne =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
+                               options.trials, options.seed, options.workers);
       auto row = table.row();
       row.cell(rs, 0)
           .cell(scenario.network.overhearing_assumption_holds() ? "yes" : "NO")

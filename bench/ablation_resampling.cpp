@@ -29,10 +29,12 @@ int main(int argc, char** argv) {
       sim::AlgorithmParams params;
       params.cpf.resampling = scheme;
       params.sdpf.resampling = scheme;
-      const auto cpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCpf, params,
-                                            options.trials, options.seed);
-      const auto sdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf,
-                                             params, options.trials, options.seed);
+      const auto cpf =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCpf, params,
+                               options.trials, options.seed, options.workers);
+      const auto sdpf =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf, params,
+                               options.trials, options.seed, options.workers);
       auto row = table.row();
       row.cell(std::string(filters::resampling_scheme_name(scheme)))
           .cell(cpf.rmse.mean(), 2)

@@ -27,10 +27,12 @@ int main(int argc, char** argv) {
     for (const double dt : {1.0, 2.0, 5.0, 10.0}) {
       sim::AlgorithmParams params;
       params.cdpf.dt = dt;
-      const auto cdpf = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf,
-                                             params, options.trials, options.seed);
-      const auto ne = sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe,
-                                           params, options.trials, options.seed);
+      const auto cdpf =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
+                               options.trials, options.seed, options.workers);
+      const auto ne =
+          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
+                               options.trials, options.seed, options.workers);
       auto row = table.row();
       row.cell(dt, 0)
           .cell(cdpf.rmse.mean(), 2)

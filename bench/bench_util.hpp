@@ -1,13 +1,17 @@
 // Shared helpers for the figure/table reproduction benches: standard flags
-// (--trials, --seed, --densities, --csv) and the density-sweep runner.
+// (--trials, --seed, --densities, --workers, --csv, --json) and the
+// density-sweep runner.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "sim/experiment.hpp"
 #include "support/cli.hpp"
 #include "support/stopwatch.hpp"
@@ -19,8 +23,21 @@ struct BenchOptions {
   std::vector<double> densities{5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0};
   std::size_t trials = 10;  // paper: ten repetitions with variable seeds
   std::uint64_t seed = 20110516;  // IPDPS 2011 opening day
+  /// Monte Carlo worker threads; defaults to every hardware thread. Trials
+  /// give identical aggregates for any worker count (per-trial seed streams
+  /// plus order-fixed aggregation), so parallelism is safe to default on.
+  std::size_t workers = 1;
   std::optional<std::string> csv_path;
+  /// When set, emit() appends a cdpf-bench/1 JSON report of the whole run.
+  std::optional<std::string> json_path;
+  support::Stopwatch wall;  // started at parse time = whole-run wall clock
 };
+
+/// Default worker count: all hardware threads (hardware_concurrency may
+/// report 0 on exotic platforms; never go below 1).
+inline std::size_t default_workers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
 
 /// Parse the standard bench flags; callers may query extra flags on the
 /// returned CliArgs before calling args.check_unknown().
@@ -28,6 +45,7 @@ inline BenchOptions parse_common(support::CliArgs& args,
                                  std::size_t default_trials = 10) {
   BenchOptions options;
   options.trials = default_trials;
+  options.workers = default_workers();
   if (const auto d = args.get_double_list("densities")) {
     options.densities = *d;
   }
@@ -37,17 +55,43 @@ inline BenchOptions parse_common(support::CliArgs& args,
   if (const auto s = args.get_int("seed")) {
     options.seed = static_cast<std::uint64_t>(*s);
   }
+  if (const auto w = args.get_int("workers")) {
+    options.workers = std::max<std::size_t>(1, static_cast<std::size_t>(*w));
+  }
   options.csv_path = args.get_string("csv");
+  options.json_path = args.get_string("json");
+  options.wall.reset();
   return options;
 }
 
-/// Emit the finished table to stdout (ASCII) and optionally to CSV.
+/// Emit the finished table to stdout (ASCII) and optionally to CSV and to a
+/// cdpf-bench/1 JSON report (one entry covering the whole run).
 inline void emit(const support::Table& table, const BenchOptions& options,
                  const std::string& title) {
   std::cout << "\n== " << title << " ==\n" << table.to_ascii();
   if (options.csv_path) {
     table.write_csv(*options.csv_path);
     std::cout << "(CSV written to " << *options.csv_path << ")\n";
+  }
+  if (options.json_path) {
+    const double wall = options.wall.elapsed_seconds();
+    BenchEntry entry;
+    entry.name = title;
+    entry.wall_seconds = wall;
+    entry.iterations = options.trials;
+    entry.iterations_per_second =
+        wall > 0.0 ? static_cast<double>(options.trials) / wall : 0.0;
+    const bool ok = write_report(
+        *options.json_path, {entry},
+        {{"trials", std::to_string(options.trials)},
+         {"workers", std::to_string(options.workers)},
+         {"seed", std::to_string(options.seed)}});
+    if (ok) {
+      std::cout << "(JSON report written to " << *options.json_path << ")\n";
+    } else {
+      std::cerr << "warning: could not write JSON report to "
+                << *options.json_path << "\n";
+    }
   }
 }
 

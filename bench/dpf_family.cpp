@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
     };
     for (const Entry& e : entries) {
       const sim::MonteCarloResult r =
-          sim::run_monte_carlo(scenario, e.kind, params, options.trials, options.seed);
+          sim::run_monte_carlo(scenario, e.kind, params, options.trials, options.seed,
+                               options.workers);
       auto row = table.row();
       row.cell(std::string(sim::algorithm_name(e.kind)))
           .cell(e.family)

@@ -38,8 +38,9 @@ int main(int argc, char** argv) {
       double bytes[4] = {};
       double msgs[4] = {};
       for (int i = 0; i < 4; ++i) {
-        const sim::MonteCarloResult r = sim::run_monte_carlo(
-            scenario, kinds[i], params, options.trials, options.seed);
+        const sim::MonteCarloResult r =
+            sim::run_monte_carlo(scenario, kinds[i], params, options.trials,
+                                 options.seed, options.workers);
         bytes[i] = r.total_bytes.mean();
         msgs[i] = r.total_messages.mean();
       }

@@ -36,8 +36,9 @@ int main(int argc, char** argv) {
       scenario.density_per_100m2 = density;
       double rmse[4] = {};
       for (int i = 0; i < 4; ++i) {
-        const sim::MonteCarloResult r = sim::run_monte_carlo(
-            scenario, kinds[i], params, options.trials, options.seed);
+        const sim::MonteCarloResult r =
+            sim::run_monte_carlo(scenario, kinds[i], params, options.trials,
+                                 options.seed, options.workers);
         rmse[i] = r.rmse.mean();
       }
       auto percent = [](double ratio) {

@@ -1,10 +1,20 @@
 // Microbenchmarks (google-benchmark) of the simulator's hot kernels:
-// resampling, spatial queries, particle propagation, and one full filter
-// iteration per algorithm.
+// resampling, spatial queries, particle propagation, the two CDPF
+// weight-assignment kernels, and one full filter iteration per algorithm.
+//
+// Beyond the stock google-benchmark flags, `--json=PATH` writes a
+// cdpf-bench/1 report (see bench_report.hpp) for tools/bench_compare.py.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
+#include <limits>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_report.hpp"
+#include "core/cdpf.hpp"
 #include "core/propagation.hpp"
 #include "filters/resampling.hpp"
 #include "filters/sir_filter.hpp"
@@ -111,11 +121,87 @@ void BM_SirFilterIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_SirFilterIteration)->Arg(100)->Arg(1000)->Arg(10000)->ArgName("particles");
 
+/// Build a CDPF (or CDPF-NE) filter warmed up on a short straight track, so
+/// the store, prediction, and scratch buffers reflect steady-state tracking
+/// at the given density. Returns the filter plus the sensing snapshot at the
+/// final target position — exactly the inputs of the weight-assignment step.
+struct WarmCdpf {
+  rng::Rng rng{7};
+  wsn::Network network;
+  wsn::Radio radio;
+  core::Cdpf filter;
+  core::SensingSnapshot snapshot;
+  std::vector<wsn::NodeId> detecting;
+
+  WarmCdpf(double density, bool neighborhood_estimation, sim::Scenario scenario,
+           core::CdpfConfig config)
+      : network((scenario.density_per_100m2 = density, sim::build_network(scenario, rng))),
+        radio(network, scenario.payloads),
+        filter(network, radio,
+               (config.use_neighborhood_estimation = neighborhood_estimation, config)) {
+    const tracking::BearingMeasurementModel bearing(config.sigma_bearing);
+    geom::Vec2 target{70.0, 100.0};
+    const double dt = filter.time_step();
+    for (int k = 0; k < 4; ++k) {
+      filter.iterate({target, {3.0, 0.0}}, dt * k, rng);
+      filter.take_estimates();
+      target.x += 3.0 * dt;
+    }
+    for (const wsn::NodeId id : network.detecting_nodes(target)) {
+      detecting.push_back(id);
+      snapshot.detections.push_back({id, std::numeric_limits<double>::quiet_NaN()});
+      snapshot.measurements.push_back(
+          {id, bearing.measure(network.position(id), target, rng)});
+    }
+  }
+};
+
+void BM_LikelihoodAndAssign(benchmark::State& state) {
+  WarmCdpf warm(static_cast<double>(state.range(0)), false, {}, {});
+  if (warm.snapshot.measurements.empty() || warm.filter.particles().empty()) {
+    state.SkipWithError("warm-up produced no measurements or particles");
+    return;
+  }
+  for (auto _ : state) {
+    warm.filter.bench_likelihood_and_assign(warm.snapshot);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(warm.filter.particles().size() *
+                                warm.snapshot.measurements.size()));
+}
+BENCHMARK(BM_LikelihoodAndAssign)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(40)
+    ->ArgName("density")
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NeighborhoodAssign(benchmark::State& state) {
+  WarmCdpf warm(static_cast<double>(state.range(0)), true, {}, {});
+  if (warm.filter.particles().empty() ||
+      !warm.filter.predicted_position().has_value()) {
+    state.SkipWithError("warm-up produced no particles or prediction");
+    return;
+  }
+  for (auto _ : state) {
+    warm.filter.bench_neighborhood_assign(warm.detecting);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(warm.filter.particles().size()));
+}
+BENCHMARK(BM_NeighborhoodAssign)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(40)
+    ->ArgName("density")
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_FullTrackerIteration(benchmark::State& state) {
   const auto kind = static_cast<sim::AlgorithmKind>(state.range(0));
   rng::Rng rng(5);
   sim::Scenario scenario;
-  scenario.density_per_100m2 = 20.0;
+  scenario.density_per_100m2 = static_cast<double>(state.range(1));
   wsn::Network network = sim::build_network(scenario, rng);
   wsn::Radio radio(network, scenario.payloads);
   const sim::AlgorithmParams params;
@@ -137,8 +223,8 @@ void BM_FullTrackerIteration(benchmark::State& state) {
   state.SetLabel(std::string(sim::algorithm_name(kind)));
 }
 BENCHMARK(BM_FullTrackerIteration)
-    ->DenseRange(0, 4, 1)
-    ->ArgName("algorithm")
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {20, 40}})
+    ->ArgNames({"algorithm", "density"})
     ->Unit(benchmark::kMicrosecond);
 
 void BM_NetworkConstruction(benchmark::State& state) {
@@ -157,6 +243,63 @@ BENCHMARK(BM_NetworkConstruction)
     ->ArgName("density")
     ->Unit(benchmark::kMicrosecond);
 
+/// Console reporter that additionally captures every per-iteration run so
+/// main() can serialize them into the cdpf-bench/1 JSON artifact.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) {
+        continue;
+      }
+      cdpf::bench::BenchEntry entry;
+      entry.name = run.benchmark_name();
+      entry.wall_seconds = run.real_accumulated_time;
+      entry.iterations = static_cast<std::size_t>(run.iterations);
+      entry.iterations_per_second =
+          run.real_accumulated_time > 0.0
+              ? static_cast<double>(run.iterations) / run.real_accumulated_time
+              : 0.0;
+      entries_.push_back(entry);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<cdpf::bench::BenchEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<cdpf::bench::BenchEntry> entries_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own --json flag before google-benchmark sees the args.
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int passthrough_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&passthrough_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(passthrough_argc, passthrough.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    if (!cdpf::bench::write_report(json_path, reporter.entries(),
+                                   {{"binary", "micro_kernels"}})) {
+      std::cerr << "error: could not write JSON report to " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "JSON report written to " << json_path << "\n";
+  }
+  return 0;
+}

@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
       double total = st.total_weight();
       // weight-nearest-to-truth diagnostics
       double mass_near = 0.0;
-      for (const auto& [h, p] : st.by_host()) {
-        if (geom::distance(network.position(h), truth.position) < 12.0) mass_near += p.weight;
+      for (const auto& p : st.particles()) {
+        if (geom::distance(network.position(p.host), truth.position) < 12.0) mass_near += p.weight;
       }
       std::cout << "    store size=" << st.size() << " total=" << total
                 << " mass_within_12m_of_truth=" << (total > 0 ? mass_near/total : 0) << "\n";

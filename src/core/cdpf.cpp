@@ -39,6 +39,32 @@ Cdpf::Cdpf(wsn::Network& network, wsn::Radio& radio, CdpfConfig config)
   // Keep the two radii configurations coherent by default.
   CDPF_CHECK_MSG(config_.propagation.record_radius > 0.0,
                  "record radius must be positive");
+  // Pre-size every per-iteration buffer to its worst case (the node count
+  // bounds hosts, receivers and area membership alike) so steady-state
+  // iterations never touch the allocator. A few MB at the densest paper
+  // deployment — cheap next to re-allocating on the hot path.
+  const std::size_t nodes = network_.size();
+  store_.reserve(nodes);
+  propagation_.next.reserve(nodes);
+  propagation_.overheard.reset(nodes);
+  propagation_scratch_.receivers.reserve(nodes);
+  propagation_scratch_.recorders.reserve(nodes);
+  propagation_scratch_.record_candidates.reserve(nodes);
+  propagation_scratch_.probabilities.reserve(nodes);
+  last_recorders_.reserve(nodes);
+  detecting_scratch_.reserve(nodes);
+  sender_positions_.reserve(nodes);
+  route_path_.reserve(nodes);
+  route_neighbors_.reserve(nodes);
+  pending_estimates_.reserve(64);
+  if (config_.use_neighborhood_estimation) {
+    area_nodes_.reserve(nodes);
+    area_positions_.reserve(nodes);
+    area_contributions_.reserve(nodes);
+    node_contribution_.resize(nodes, 0.0);
+    contribution_stamp_.resize(nodes, 0);
+    detection_stamp_.resize(nodes, 0);
+  }
   // The paper's correctness argument for the overheard total (every recorder
   // hears every broadcast of the previous round) needs r_s <= r_c / 2.
   // Experiments may explore violations deliberately, so warn, don't reject.
@@ -140,64 +166,78 @@ void Cdpf::iterate_snapshot(const SensingSnapshot& snapshot, double time,
     // has a total to work with at the first real iteration.
     predicted_position_.reset();
   } else {
-    // -- Step 1: Prediction — propagate particles along the trajectory. ---
-    PropagationOutcome outcome = propagate_particles(
-        store_, network_, radio_, *motion_, config_.propagation, rng);
+    // -- Step 1: Prediction — propagate particles along the trajectory.
+    //    The outcome and its scratch are reused members: reset() rewinds
+    //    them without releasing capacity, so the round allocates nothing.
+    propagation_.reset(network_.size());
+    propagate_particles_into(store_, network_, radio_, *motion_, config_.propagation,
+                             rng, propagation_, propagation_scratch_);
+    has_propagation_ = true;
 
     // -- Step 2: Correction — normalize by the overheard total, estimate
     //    the PREVIOUS iteration, resample (prune). ---------------------
-    if (outcome.global.total_weight <= 0.0 || outcome.next.empty()) {
+    if (propagation_.global.total_weight <= 0.0 || propagation_.next.empty()) {
       // Track lost (all particles dropped or no recorders). Reinitialize
       // from the current detections, like the cold start.
       CDPF_LOG_DEBUG(name() << ": track lost at t=" << time << ", reinitializing");
       store_.clear();
-      last_propagation_.reset();
+      has_propagation_ = false;
+      last_recorders_.clear();
       predicted_position_.reset();
       initialize_from_detections(snapshot, rng);
       if (store_.empty()) {
         return;
       }
     } else {
-      const tracking::TargetState previous = outcome.global.estimate();
+      const tracking::TargetState previous = propagation_.global.estimate();
       pending_estimates_.push_back({previous, time - config_.dt});
       predicted_position_ = previous.position + previous.velocity * config_.dt;
 
+      // Hand the recorded set over by swapping buffers: store_ takes
+      // propagation_.next and donates its (about to be discarded) previous
+      // set as the next round's scratch. No copy, no allocation.
+      store_.swap(propagation_.next);
+      last_recorders_.assign(store_.sorted_hosts().begin(),
+                             store_.sorted_hosts().end());
+
       if (config_.report_estimates_to_sink) {
         // One of the recorders (the one nearest the estimate) reports to the
-        // sink hop by hop.
+        // sink hop by hop. Ties in distance break toward the lowest NodeId
+        // so the selection — and therefore the charged route — does not
+        // depend on store iteration order.
         const wsn::GreedyGeographicRouter router(network_);
         wsn::NodeId reporter = wsn::kInvalidNodeId;
         double best = std::numeric_limits<double>::infinity();
-        for (const auto& [host, p] : outcome.next.by_host()) {
+        for (const NodeParticle& p : store_.particles()) {
+          if (!network_.is_active(p.host)) {
+            continue;
+          }
           const double d =
-              geom::distance_squared(network_.position(host), previous.position);
-          if (d < best && network_.is_active(host)) {
+              geom::distance_squared(network_.position(p.host), previous.position);
+          if (d < best || (d == best && p.host < reporter)) {
             best = d;
-            reporter = host;
+            reporter = p.host;
           }
         }
         if (reporter != wsn::kInvalidNodeId) {
           router.send(radio_, reporter, network_.sink(), wsn::MessageKind::kEstimate,
-                      radio_.payloads().estimate);
+                      radio_.payloads().estimate, route_path_, route_neighbors_);
         }
       }
 
-      store_ = outcome.next;  // keep the recorded set in last_propagation_
-      store_.normalize(outcome.global.total_weight);
+      store_.normalize(propagation_.global.total_weight);
       store_.prune_below(config_.prune_threshold);
-      last_propagation_ = std::move(outcome);
     }
   }
 
   // -- Steps 3 + 4: Likelihood & Assign weight (or neighborhood estimate).
-  std::vector<wsn::NodeId> detecting;
-  detecting.reserve(snapshot.detections.size());
+  detecting_scratch_.clear();
   for (const SensingSnapshot::Detection& d : snapshot.detections) {
-    detecting.push_back(d.node);
+    detecting_scratch_.push_back(d.node);
   }
   if (!store_.empty()) {
     if (config_.use_neighborhood_estimation) {
-      neighborhood_assign(detecting);
+      neighborhood_assign(detecting_scratch_);
     } else {
       likelihood_and_assign(snapshot);
     }
@@ -247,13 +287,22 @@ void Cdpf::iterate_snapshot(const SensingSnapshot& snapshot, double time,
 void Cdpf::likelihood_and_assign(const SensingSnapshot& snapshot) {
   // Step 3: every measuring node broadcasts its measurement (D_m). Hosts
   // evaluate the joint likelihood of the measurements they can hear.
+  // Whether a host heard measurement m is decided by the distance gate
+  // below, so the broadcasts only need their statistics charged — no
+  // receiver list.
   const auto& shared = snapshot.measurements;
   for (const SensingSnapshot::Measurement& m : shared) {
-    radio_.broadcast(m.sender, wsn::MessageKind::kMeasurement,
-                     radio_.payloads().measurement);
+    radio_.broadcast_count(m.sender, wsn::MessageKind::kMeasurement,
+                           radio_.payloads().measurement);
   }
   if (shared.empty()) {
     return;  // no information this iteration; weights carry over
+  }
+  // Sender positions are read once per (measurement, host) pair below;
+  // resolve them once per measurement instead.
+  sender_positions_.clear();
+  for (const SensingSnapshot::Measurement& s : shared) {
+    sender_positions_.push_back(network_.position(s.sender));
   }
 
   // Step 4: w <- w * prod_m p(z_m | particle position), evaluated in the
@@ -276,27 +325,31 @@ void Cdpf::likelihood_and_assign(const SensingSnapshot& snapshot) {
     return std::hypot(bearing_.sigma(), delta / d);
   };
   geom::Vec2 reference;
-  for (const SensingSnapshot::Measurement& s : shared) {
-    reference += network_.position(s.sender);
+  for (const geom::Vec2 sensor : sender_positions_) {
+    reference += sensor;
   }
   reference = reference / static_cast<double>(shared.size());
   double reference_log_likelihood = 0.0;
-  for (const SensingSnapshot::Measurement& s : shared) {
-    const geom::Vec2 sensor = network_.position(s.sender);
+  for (std::size_t i = 0; i < shared.size(); ++i) {
+    const geom::Vec2 sensor = sender_positions_[i];
     reference_log_likelihood += bearing_.log_likelihood_inflated(
-        s.bearing_rad, sensor, reference, effective_sigma(sensor, reference));
+        shared[i].bearing_rad, sensor, reference, effective_sigma(sensor, reference));
   }
 
-  const double comm_radius = network_.config().comm_radius;
+  // Range gate on squared distance: `d <= r_c` and `d^2 <= r_c^2` agree for
+  // every representable distance (both sides exact or within half an ulp of
+  // the same comparison), and the squared form skips the sqrt per pair.
+  const double comm_radius_sq =
+      network_.config().comm_radius * network_.config().comm_radius;
   for (const wsn::NodeId host : store_.sorted_hosts()) {
     const geom::Vec2 host_pos = network_.position(host);
     double log_likelihood = 0.0;
     bool heard_any = false;
-    for (const SensingSnapshot::Measurement& s : shared) {
-      const geom::Vec2 sensor = network_.position(s.sender);
-      if (geom::distance(sensor, host_pos) <= comm_radius) {
+    for (std::size_t i = 0; i < shared.size(); ++i) {
+      const geom::Vec2 sensor = sender_positions_[i];
+      if (geom::distance_squared(sensor, host_pos) <= comm_radius_sq) {
         log_likelihood += bearing_.log_likelihood_inflated(
-            s.bearing_rad, sensor, host_pos, effective_sigma(sensor, host_pos));
+            shared[i].bearing_rad, sensor, host_pos, effective_sigma(sensor, host_pos));
         heard_any = true;
       }
     }
@@ -326,16 +379,27 @@ void Cdpf::neighborhood_assign(const std::vector<wsn::NodeId>& detecting) {
   const geom::Vec2 predicted = *predicted_position_;
   // All active nodes inside the estimation area participate in the
   // normalization set (they are the nodes that may detect the target).
-  std::vector<wsn::NodeId> area_nodes;
   network_.active_nodes_within(predicted, config_.neighborhood.sensing_radius,
-                               area_nodes);
-  std::vector<geom::Vec2> positions;
-  positions.reserve(area_nodes.size());
-  for (const wsn::NodeId id : area_nodes) {
-    positions.push_back(network_.position(id));
+                               area_nodes_);
+  area_positions_.clear();
+  for (const wsn::NodeId id : area_nodes_) {
+    area_positions_.push_back(network_.position(id));
   }
-  const std::vector<double> contributions =
-      estimated_contributions(positions, predicted, config_.neighborhood);
+  estimated_contributions(area_positions_, predicted, config_.neighborhood,
+                          area_contributions_);
+
+  // Index contributions and the detecting set by NodeId so the host loop
+  // below is O(hosts) instead of O(hosts * (area + detections)). The tables
+  // are epoch-stamped: bumping node_epoch_ invalidates every stale entry
+  // without clearing the arrays.
+  ++node_epoch_;
+  for (std::size_t i = 0; i < area_nodes_.size(); ++i) {
+    node_contribution_[area_nodes_[i]] = area_contributions_[i];
+    contribution_stamp_[area_nodes_[i]] = node_epoch_;
+  }
+  for (const wsn::NodeId id : detecting) {
+    detection_stamp_[id] = node_epoch_;
+  }
 
   // w_{k+1} = w_k * c_0 for hosts inside the area; hosts outside have
   // (estimated) zero contribution and are dropped at the next prune. A host
@@ -343,18 +407,12 @@ void Cdpf::neighborhood_assign(const std::vector<wsn::NodeId>& detecting) {
   // detection boost — its one locally available (communication-free)
   // measurement.
   for (const wsn::NodeId host : store_.sorted_hosts()) {
-    double c = 0.0;
-    for (std::size_t i = 0; i < area_nodes.size(); ++i) {
-      if (area_nodes[i] == host) {
-        c = contributions[i];
-        break;
-      }
-    }
-    if (std::find(detecting.begin(), detecting.end(), host) != detecting.end()) {
+    double c = contribution_stamp_[host] == node_epoch_ ? node_contribution_[host] : 0.0;
+    if (detection_stamp_[host] == node_epoch_) {
       // A detecting host outside the (mispredicted) estimation area floors
       // its contribution at the area's mean — its own detection says the
       // prediction, not the particle, is wrong.
-      c = std::max(c, 1.0 / static_cast<double>(area_nodes.size() + 1)) *
+      c = std::max(c, 1.0 / static_cast<double>(area_nodes_.size() + 1)) *
           config_.detection_weight_boost;
     }
     store_.scale_weight(host, c);
@@ -362,7 +420,10 @@ void Cdpf::neighborhood_assign(const std::vector<wsn::NodeId>& detecting) {
 }
 
 std::vector<TimedEstimate> Cdpf::take_estimates() {
-  std::vector<TimedEstimate> out = std::move(pending_estimates_);
+  // Copy-out rather than move-out: moving would strip pending_estimates_ of
+  // its capacity and force a reallocation on the next iteration, breaking
+  // the zero-allocation steady state between periodic collections.
+  std::vector<TimedEstimate> out(pending_estimates_.begin(), pending_estimates_.end());
   pending_estimates_.clear();
   return out;
 }

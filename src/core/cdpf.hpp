@@ -20,9 +20,11 @@
 // N_s (D_p + D_w) for CDPF-NE — the Table I rows this class reproduces.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/neighborhood_estimation.hpp"
@@ -143,13 +145,32 @@ class Cdpf final : public TrackerAlgorithm {
 
   // -- Introspection for tests and benches --------------------------------
   const ParticleStore& particles() const { return store_; }
-  /// The last propagation round's outcome (empty before the first round).
-  const std::optional<PropagationOutcome>& last_propagation() const {
-    return last_propagation_;
+  /// The last propagation round's outcome (nullptr before the first round).
+  /// NOTE: `->next` is a recycled buffer — the correction step swaps it with
+  /// the working store instead of copying — so it holds the PREVIOUS
+  /// iteration's particle set, not the recorded one. Use
+  /// last_recorder_hosts() for the recorder set; `overheard` and `global`
+  /// describe the last round as before.
+  const PropagationOutcome* last_propagation() const {
+    return has_propagation_ ? &propagation_ : nullptr;
   }
+  /// Hosts that recorded a particle in the last propagation round (sorted
+  /// ascending); empty before the first round.
+  std::span<const wsn::NodeId> last_recorder_hosts() const { return last_recorders_; }
   /// Predicted target position for the CURRENT iteration ("slashed square"
   /// of Figure 1), available after the correction step.
   std::optional<geom::Vec2> predicted_position() const { return predicted_position_; }
+
+  // -- Perf-bench entry points (bench/micro_kernels.cpp) -------------------
+  // Expose the two weight-assignment kernels so the perf baseline can track
+  // them in isolation. They mutate the store's weights like a real
+  // iteration; drive a few iterate() calls first to populate the state.
+  void bench_likelihood_and_assign(const SensingSnapshot& snapshot) {
+    likelihood_and_assign(snapshot);
+  }
+  void bench_neighborhood_assign(const std::vector<wsn::NodeId>& detecting) {
+    neighborhood_assign(detecting);
+  }
 
  private:
   void initialize_from_detections(const SensingSnapshot& snapshot, rng::Rng& rng);
@@ -170,11 +191,32 @@ class Cdpf final : public TrackerAlgorithm {
   tracking::BearingMeasurementModel bearing_;
 
   ParticleStore store_;
-  std::optional<PropagationOutcome> last_propagation_;
+  /// Reused round outcome; store_ and propagation_.next ping-pong their
+  /// buffers every iteration, so a steady-state iteration allocates nothing.
+  PropagationOutcome propagation_;
+  PropagationScratch propagation_scratch_;
+  bool has_propagation_ = false;
+  std::vector<wsn::NodeId> last_recorders_;
   std::optional<geom::Vec2> predicted_position_;
   double last_iteration_time_ = 0.0;
   bool has_iterated_ = false;
   std::vector<TimedEstimate> pending_estimates_;
+
+  // Iteration-local workspaces, members so they stay warm across rounds.
+  std::vector<wsn::NodeId> detecting_scratch_;
+  std::vector<geom::Vec2> sender_positions_;
+  std::vector<wsn::NodeId> route_path_;
+  std::vector<wsn::NodeId> route_neighbors_;
+  std::vector<wsn::NodeId> area_nodes_;
+  std::vector<geom::Vec2> area_positions_;
+  std::vector<double> area_contributions_;
+  // Epoch-stamped NodeId-indexed lookups for the neighborhood assignment:
+  // contribution-by-host and detecting-set membership in O(1) instead of a
+  // linear scan per host.
+  std::vector<double> node_contribution_;
+  std::vector<std::uint64_t> contribution_stamp_;
+  std::vector<std::uint64_t> detection_stamp_;
+  std::uint64_t node_epoch_ = 0;
 };
 
 }  // namespace cdpf::core

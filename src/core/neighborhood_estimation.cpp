@@ -27,16 +27,26 @@ std::vector<double> estimated_contributions(std::span<const geom::Vec2> position
                                             geom::Vec2 predicted_position,
                                             const NeighborhoodEstimationConfig& config) {
   CDPF_CHECK_MSG(config.min_distance_m > 0.0, "min distance clamp must be positive");
-  std::vector<double> contributions(positions.size());
+  std::vector<double> contributions;
+  estimated_contributions(positions, predicted_position, config, contributions);
+  return contributions;
+}
+
+void estimated_contributions(std::span<const geom::Vec2> positions,
+                             geom::Vec2 predicted_position,
+                             const NeighborhoodEstimationConfig& config,
+                             std::vector<double>& out) {
+  CDPF_CHECK_MSG(config.min_distance_m > 0.0, "min distance clamp must be positive");
+  out.resize(positions.size());
   if (positions.empty()) {
-    return contributions;
+    return;
   }
   support::NeumaierSum inv_sum;  // D = sum_j 1/d_j
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    contributions[i] = 1.0 / clamped_distance(positions[i], predicted_position, config);
-    inv_sum.add(contributions[i]);
+    out[i] = 1.0 / clamped_distance(positions[i], predicted_position, config);
+    inv_sum.add(out[i]);
   }
-  for (double& c : contributions) {
+  for (double& c : out) {
     c /= inv_sum.value();  // c_i = (1/d_i) / D
   }
   // CDPF-NE invariant: the estimated contributions form a probability
@@ -44,7 +54,7 @@ std::vector<double> estimated_contributions(std::span<const geom::Vec2> position
   // otherwise the weight assignment silently injects or removes mass.
   CDPF_ASSERT([&] {
     support::NeumaierSum check;
-    for (const double c : contributions) {
+    for (const double c : out) {
       if (!(std::isfinite(c) && c >= 0.0 && c <= 1.0)) {
         return false;
       }
@@ -52,7 +62,6 @@ std::vector<double> estimated_contributions(std::span<const geom::Vec2> position
     }
     return std::abs(check.value() - 1.0) <= 1e-9;
   }());
-  return contributions;
 }
 
 double own_contribution(geom::Vec2 self, std::span<const geom::Vec2> others,

@@ -39,6 +39,14 @@ std::vector<double> estimated_contributions(std::span<const geom::Vec2> position
                                             geom::Vec2 predicted_position,
                                             const NeighborhoodEstimationConfig& config);
 
+/// Reuse-friendly variant writing into `out` (resized to positions.size());
+/// allocation-free once `out` has the capacity — the per-iteration path of
+/// CDPF-NE's weight assignment.
+void estimated_contributions(std::span<const geom::Vec2> positions,
+                             geom::Vec2 predicted_position,
+                             const NeighborhoodEstimationConfig& config,
+                             std::vector<double>& out);
+
 /// The contribution c_0 of the node at `self`, with `others` being the other
 /// node positions inside the estimation area (the normalization set is
 /// {self} ∪ others). This is the per-node update path: each node only needs

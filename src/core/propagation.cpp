@@ -9,12 +9,18 @@
 namespace cdpf::core {
 
 void OverheardAggregate::add(double weight, geom::Vec2 position, geom::Vec2 velocity) {
-  CDPF_ASSERT(std::isfinite(weight) && weight >= 0.0);
+  CDPF_ASSERT(std::isfinite(weight));
+  add(weight, position, velocity, velocity.norm());
+}
+
+void OverheardAggregate::add(double weight, geom::Vec2 position, geom::Vec2 velocity,
+                             double speed) {
+  CDPF_ASSERT(std::isfinite(weight) && weight >= 0.0 && speed >= 0.0);
   weight_sum_.add(weight);
   total_weight = weight_sum_.value();
   weighted_position += position * weight;
   weighted_velocity += velocity * weight;
-  weighted_speed += velocity.norm() * weight;
+  weighted_speed += speed * weight;
   ++particles_heard;
 }
 
@@ -29,25 +35,85 @@ tracking::TargetState OverheardAggregate::estimate() const {
   return {weighted_position / total_weight, velocity};
 }
 
-PropagationOutcome propagate_particles(const ParticleStore& store,
-                                       const wsn::Network& network, wsn::Radio& radio,
-                                       const tracking::MotionModel& motion,
-                                       const PropagationConfig& config, rng::Rng& rng) {
+void OverheardTable::reset(std::size_t node_count) {
+  if (slots_.size() < node_count) {
+    slots_.resize(node_count);
+    stamps_.resize(node_count, 0);
+  }
+  touched_.clear();
+  ++epoch_;
+}
+
+OverheardAggregate& OverheardTable::at(wsn::NodeId id) {
+  CDPF_ASSERT(id < slots_.size());
+  if (stamps_[id] != epoch_) {
+    slots_[id] = OverheardAggregate{};
+    stamps_[id] = epoch_;
+    touched_.push_back(id);
+  }
+  return slots_[id];
+}
+
+const OverheardAggregate* OverheardTable::find(wsn::NodeId id) const {
+  if (id >= slots_.size() || stamps_[id] != epoch_) {
+    return nullptr;
+  }
+  return &slots_[id];
+}
+
+void PropagationOutcome::reset(std::size_t node_count) {
+  next.clear();
+  overheard.reset(node_count);
+  global = OverheardAggregate{};
+  num_broadcasts = 0;
+  lost_particles = 0;
+  lost_weight = 0.0;
+}
+
+void propagate_particles_into(const ParticleStore& store, const wsn::Network& network,
+                              wsn::Radio& radio, const tracking::MotionModel& motion,
+                              const PropagationConfig& config, rng::Rng& rng,
+                              PropagationOutcome& outcome, PropagationScratch& scratch) {
   CDPF_CHECK_MSG(config.record_radius > 0.0, "record radius must be positive");
+  CDPF_CHECK_MSG(&store != &outcome.next, "input store must not alias outcome.next");
   const tracking::LinearProbabilityModel lin_prob(config.record_radius);
   const std::size_t propagation_payload =
       radio.payloads().particle + radio.payloads().weight;
 
-  PropagationOutcome outcome;
   support::NeumaierSum lost_weight;
 #ifndef NDEBUG
   // Mass lost WITHOUT a broadcast (dead/sleeping hosts) — the only part of
   // the input total the overheard global aggregate legitimately misses.
   support::NeumaierSum silent_lost_weight;
 #endif
-  std::vector<wsn::NodeId> receivers;
-  std::vector<wsn::NodeId> recorders;
-  std::vector<double> probabilities;
+  std::vector<wsn::NodeId>& receivers = scratch.receivers;
+  std::vector<wsn::NodeId>& recorders = scratch.recorders;
+  std::vector<wsn::NodeId>& candidates = scratch.record_candidates;
+  std::vector<double>& probabilities = scratch.probabilities;
+
+  // Receivers only matter individually when the per-node overheard tables
+  // are maintained (each receiver's aggregate is touched) or when believed
+  // positions diverge from the physical ones (the record test runs on
+  // believed coordinates, so record-disk membership cannot be resolved by
+  // the physical-position grid). Otherwise the round runs receiver-free:
+  // the broadcast is charged by count alone and recorders come from a
+  // direct scan of the record disk — O(r_s^2) points touched per host
+  // instead of O(r_c^2), the difference between ~100 and ~1000 nodes at
+  // paper densities.
+  const bool use_receiver_list =
+      config.per_node_overhearing || network.has_believed_positions();
+  const double comm_radius = network.config().comm_radius;
+  const double comm_radius_sq = comm_radius * comm_radius;
+  // The squared-distance pre-gate is deliberately loose (record_radius
+  // inflated by a few ulp): it only ever skips nodes the exact linear-model
+  // test would reject with certainty, so which nodes record — and with what
+  // probability — is decided by the same arithmetic on both scan paths.
+  const double record_gate_sq =
+      config.record_radius * config.record_radius * (1.0 + 1e-12);
+  // Grid query radius for the direct record-disk scan: anything covering the
+  // pre-gate works (acceptance is decided downstream); 1e-9 relative slack
+  // comfortably dominates the gate's margin.
+  const double record_query_radius = config.record_radius * (1.0 + 1e-9);
 
   // Deterministic host order so rng consumption is reproducible.
   for (const wsn::NodeId host : store.sorted_hosts()) {
@@ -65,32 +131,80 @@ PropagationOutcome propagate_particles(const ParticleStore& store,
     }
     const geom::Vec2 host_position = network.position(host);
     const geom::Vec2 predicted = host_position + particle.velocity * motion.dt();
+    const double speed = particle.velocity.norm();
 
-    radio.broadcast(host, wsn::MessageKind::kParticle, propagation_payload, receivers);
+    if (use_receiver_list) {
+      radio.broadcast(host, wsn::MessageKind::kParticle, propagation_payload,
+                      receivers);
+    } else {
+      radio.broadcast_count(host, wsn::MessageKind::kParticle, propagation_payload);
+    }
     ++outcome.num_broadcasts;
 
     // Overhearing: every receiver (plus the broadcaster, trivially) learns
     // this particle's weight and state.
-    outcome.overheard[host].add(particle.weight, host_position, particle.velocity);
-    for (const wsn::NodeId r : receivers) {
-      outcome.overheard[r].add(particle.weight, host_position, particle.velocity);
+    if (config.per_node_overhearing) {
+      outcome.overheard.at(host).add(particle.weight, host_position,
+                                     particle.velocity, speed);
+      for (const wsn::NodeId r : receivers) {
+        outcome.overheard.at(r).add(particle.weight, host_position,
+                                    particle.velocity, speed);
+      }
     }
-    outcome.global.add(particle.weight, host_position, particle.velocity);
+    outcome.global.add(particle.weight, host_position, particle.velocity, speed);
 
     // Recorders: receivers inside the predicted area by the linear model.
     recorders.clear();
     probabilities.clear();
     double probability_sum = 0.0;
-    for (const wsn::NodeId r : receivers) {
-      const double p = lin_prob.probability(network.position(r), predicted);
-      if (p > config.min_record_probability && p > 0.0) {
-        recorders.push_back(r);
-        probabilities.push_back(p);
-        probability_sum += p;
+    if (use_receiver_list) {
+      for (const wsn::NodeId r : receivers) {
+        const geom::Vec2 receiver_position = network.position(r);
+        if (geom::distance_squared(receiver_position, predicted) > record_gate_sq) {
+          continue;
+        }
+        const double p = lin_prob.probability(receiver_position, predicted);
+        if (p > config.min_record_probability && p > 0.0) {
+          recorders.push_back(r);
+          probabilities.push_back(p);
+          probability_sum += p;
+        }
+      }
+    } else {
+      // Direct record-disk scan. Grid visitation order is global (cell-major,
+      // then build order), so filtering the record-disk query by comm-range
+      // membership yields the SAME recorder sequence — hence the same rng
+      // consumption — as filtering the comm-disk receiver list by the record
+      // gate; the comm test below is the identical arithmetic the grid uses
+      // for receiver membership.
+      network.active_nodes_within(predicted, record_query_radius, candidates);
+      for (const wsn::NodeId r : candidates) {
+        if (r == host) {
+          continue;  // a broadcaster never receives its own transmission
+        }
+        const geom::Vec2 receiver_position = network.position(r);
+        if (geom::distance_squared(receiver_position, host_position) > comm_radius_sq) {
+          continue;  // inside the record disk but out of the broadcast's reach
+        }
+        if (geom::distance_squared(receiver_position, predicted) > record_gate_sq) {
+          continue;
+        }
+        const double p = lin_prob.probability(receiver_position, predicted);
+        if (p > config.min_record_probability && p > 0.0) {
+          recorders.push_back(r);
+          probabilities.push_back(p);
+          probability_sum += p;
+        }
       }
     }
 
     if (recorders.empty()) {
+      if (config.fallback_to_nearest && !use_receiver_list) {
+        // Rare path (sparse deployments): materialize the receiver set the
+        // already-charged broadcast reached, mirroring Radio::broadcast.
+        network.active_nodes_within(host_position, comm_radius, receivers);
+        std::erase(receivers, host);
+      }
       if (!config.fallback_to_nearest || receivers.empty()) {
         ++outcome.lost_particles;
         lost_weight.add(particle.weight);
@@ -152,6 +266,18 @@ PropagationOutcome propagate_particles(const ParticleStore& store,
            std::abs(outcome.global.total_weight + silent_lost_weight.value() -
                     total_in) <= 1e-9 * scale;
   }());
+}
+
+PropagationOutcome propagate_particles(const ParticleStore& store,
+                                       const wsn::Network& network, wsn::Radio& radio,
+                                       const tracking::MotionModel& motion,
+                                       const PropagationConfig& config, rng::Rng& rng) {
+  CDPF_CHECK_MSG(config.record_radius > 0.0, "record radius must be positive");
+  PropagationOutcome outcome;
+  outcome.reset(network.size());
+  PropagationScratch scratch;
+  propagate_particles_into(store, network, radio, motion, config, rng, outcome,
+                           scratch);
   return outcome;
 }
 

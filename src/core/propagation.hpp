@@ -18,7 +18,8 @@
 #pragma once
 
 #include <cstddef>
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
 #include "core/node_particle.hpp"
 #include "geom/vec2.hpp"
@@ -51,6 +52,15 @@ struct PropagationConfig {
   /// on velocity, not just position. Speed still comes from the motion
   /// model's noisy sample.
   bool velocity_from_displacement = true;
+  /// Maintain the per-node aggregates in `PropagationOutcome::overheard`.
+  /// In the modeled network overhearing is free (nodes hear broadcasts
+  /// anyway), but simulating the per-node tables costs O(broadcasts x
+  /// receivers) bookkeeping — the hottest loop of a dense round — while the
+  /// filter's correction step only consumes the global aggregate (equal to
+  /// every recorder's local total under the r_s <= r_c/2 assumption the
+  /// tests verify). Off by default; the overhearing-completeness
+  /// diagnostics switch it on.
+  bool per_node_overhearing = false;
 };
 
 /// What one node learns by overhearing a propagation round.
@@ -67,6 +77,11 @@ struct OverheardAggregate {
   /// error must not grow with the number of broadcasts heard.
   void add(double weight, geom::Vec2 position, geom::Vec2 velocity);
 
+  /// Same, with |velocity| precomputed by the caller — the propagation loop
+  /// folds one broadcast into hundreds of receivers' aggregates, and the
+  /// hypot behind norm() is the single hottest instruction of the round.
+  void add(double weight, geom::Vec2 position, geom::Vec2 velocity, double speed);
+
   /// Estimate of the previous-iteration target state from the overheard
   /// particles (the correction step's estimate). The velocity estimate is
   /// the mean DIRECTION rescaled to the mean SPEED: averaging velocity
@@ -79,12 +94,39 @@ struct OverheardAggregate {
   support::NeumaierSum weight_sum_;
 };
 
+/// NodeId -> OverheardAggregate for one propagation round. A dense slot per
+/// node plus an epoch stamp per slot: reset() is O(1) (one epoch bump) and a
+/// round performs no allocation once the slots exist, which an unordered_map
+/// cannot offer at ~10^5 aggregate updates per dense-network round.
+class OverheardTable {
+ public:
+  /// Prepare for a new round over a network of `node_count` nodes. O(1)
+  /// except when the slot arrays must grow (first use / larger network).
+  void reset(std::size_t node_count);
+
+  /// Aggregate for `id`, default-initialized on first touch this round.
+  OverheardAggregate& at(wsn::NodeId id);
+
+  /// Aggregate for `id`, or nullptr when it heard nothing this round.
+  const OverheardAggregate* find(wsn::NodeId id) const;
+
+  /// Ids that heard at least one broadcast this round, in first-heard order.
+  const std::vector<wsn::NodeId>& heard() const { return touched_; }
+  std::size_t size() const { return touched_.size(); }
+
+ private:
+  std::vector<OverheardAggregate> slots_;
+  std::vector<std::uint64_t> stamps_;
+  std::vector<wsn::NodeId> touched_;
+  std::uint64_t epoch_ = 0;
+};
+
 struct PropagationOutcome {
   /// Particles recorded at their new hosts (divided + combined).
   ParticleStore next;
   /// What each node that heard at least one broadcast overheard. Includes
   /// recorders and mere bystanders; broadcasters hear their own particle.
-  std::unordered_map<wsn::NodeId, OverheardAggregate> overheard;
+  OverheardTable overheard;
   /// Ground-truth aggregate over all broadcasts (what a node that heard
   /// everything would hold); used for evaluation and for verifying the
   /// overhearing-completeness claim.
@@ -96,12 +138,34 @@ struct PropagationOutcome {
   /// next.total_weight() + lost_weight == input store total (the division
   /// rule preserves mass, so only lost particles may remove any).
   double lost_weight = 0.0;
+
+  /// Make the outcome reusable for another round over a network of
+  /// `node_count` nodes; all buffer capacity is retained.
+  void reset(std::size_t node_count);
+};
+
+/// Reusable buffers for propagate_particles_into(); hand the same instance
+/// to every round so the receiver/recorder staging vectors stay warm.
+struct PropagationScratch {
+  std::vector<wsn::NodeId> receivers;
+  std::vector<wsn::NodeId> recorders;
+  std::vector<wsn::NodeId> record_candidates;
+  std::vector<double> probabilities;
 };
 
 /// Run one propagation round for `store` over `network`, charging the
 /// broadcasts to `radio`. `motion` supplies dt (the filter iteration step)
 /// and the process noise applied to recorded velocities; `rng` drives the
-/// noise. The input store is left untouched.
+/// noise. The input store is left untouched (and must not alias
+/// `outcome.next`). The caller must have reset `outcome` for this round;
+/// with warm `outcome`/`scratch` buffers the round is allocation-free.
+void propagate_particles_into(const ParticleStore& store, const wsn::Network& network,
+                              wsn::Radio& radio, const tracking::MotionModel& motion,
+                              const PropagationConfig& config, rng::Rng& rng,
+                              PropagationOutcome& outcome, PropagationScratch& scratch);
+
+/// Convenience wrapper allocating a fresh outcome per round (tests, callers
+/// off the hot path).
 PropagationOutcome propagate_particles(const ParticleStore& store,
                                        const wsn::Network& network, wsn::Radio& radio,
                                        const tracking::MotionModel& motion,

@@ -44,32 +44,6 @@ std::size_t GridIndex::cell_of(Vec2 p) const {
   return cell_at(coord(p.x, bounds_.lo.x, nx_), coord(p.y, bounds_.lo.y, ny_));
 }
 
-void GridIndex::visit_disk(Vec2 center, double radius,
-                           const std::function<void(std::size_t)>& visit) const {
-  CDPF_CHECK_MSG(radius >= 0.0, "query radius must be non-negative");
-  const double r2 = radius * radius;
-  auto cell_coord = [this](double v, double lo, std::size_t n) {
-    const auto c = static_cast<std::ptrdiff_t>(std::floor((v - lo) / cell_size_));
-    return static_cast<std::size_t>(
-        std::clamp<std::ptrdiff_t>(c, 0, static_cast<std::ptrdiff_t>(n) - 1));
-  };
-  const std::size_t cx0 = cell_coord(center.x - radius, bounds_.lo.x, nx_);
-  const std::size_t cx1 = cell_coord(center.x + radius, bounds_.lo.x, nx_);
-  const std::size_t cy0 = cell_coord(center.y - radius, bounds_.lo.y, ny_);
-  const std::size_t cy1 = cell_coord(center.y + radius, bounds_.lo.y, ny_);
-  for (std::size_t cy = cy0; cy <= cy1; ++cy) {
-    for (std::size_t cx = cx0; cx <= cx1; ++cx) {
-      const std::size_t c = cell_at(cx, cy);
-      for (std::size_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-        const std::size_t id = ids_[k];
-        if (distance_squared(points_[id], center) <= r2) {
-          visit(id);
-        }
-      }
-    }
-  }
-}
-
 std::size_t GridIndex::query_disk(Vec2 center, double radius,
                                   std::vector<std::size_t>& out) const {
   out.clear();

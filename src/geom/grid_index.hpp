@@ -7,13 +7,15 @@
 // because deployments are uniform-random, making occupancy well balanced.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
-#include <functional>
 #include <span>
 #include <vector>
 
 #include "geom/shapes.hpp"
 #include "geom/vec2.hpp"
+#include "support/check.hpp"
 
 namespace cdpf::geom {
 
@@ -33,15 +35,104 @@ class GridIndex {
   /// Convenience allocation variant of query_disk.
   std::vector<std::size_t> query_disk(Vec2 center, double radius) const;
 
-  /// Visit ids within the disk without materializing a vector.
-  void visit_disk(Vec2 center, double radius,
-                  const std::function<void(std::size_t)>& visit) const;
+  /// Visit ids within the disk without materializing a vector. Statically
+  /// dispatched: this is the innermost loop of every neighbor/detection
+  /// query, so the visitor must not hide behind a std::function indirection
+  /// (or allocate one) per call.
+  template <typename Visitor>
+  void visit_disk(Vec2 center, double radius, Visitor&& visit) const {
+    const double r2 = radius * radius;
+    for_each_cell(center, radius, [&](std::size_t c, bool fully_inside) {
+      const std::size_t k_end = cell_start_[c + 1];
+      if (fully_inside) {
+        for (std::size_t k = cell_start_[c]; k < k_end; ++k) {
+          visit(ids_[k]);
+        }
+        return;
+      }
+      for (std::size_t k = cell_start_[c]; k < k_end; ++k) {
+        const std::size_t id = ids_[k];
+        if (distance_squared(points_[id], center) <= r2) {
+          visit(id);
+        }
+      }
+    });
+  }
+
+  /// Number of points within the disk, without visiting them: fully-inside
+  /// cells contribute their occupancy straight from the CSR offsets, so only
+  /// boundary cells pay per-point distance checks. Counts exactly the ids
+  /// visit_disk would visit.
+  std::size_t count_disk(Vec2 center, double radius) const {
+    const double r2 = radius * radius;
+    std::size_t count = 0;
+    for_each_cell(center, radius, [&](std::size_t c, bool fully_inside) {
+      const std::size_t k_end = cell_start_[c + 1];
+      if (fully_inside) {
+        count += k_end - cell_start_[c];
+        return;
+      }
+      for (std::size_t k = cell_start_[c]; k < k_end; ++k) {
+        count += distance_squared(points_[ids_[k]], center) <= r2 ? 1u : 0u;
+      }
+    });
+    return count;
+  }
 
   const Aabb& bounds() const { return bounds_; }
   double cell_size() const { return cell_size_; }
 
  private:
+  /// Shared traversal of visit_disk/count_disk: calls `visit_cell(c,
+  /// fully_inside)` for every grid cell that may intersect the disk, in
+  /// row-major order. `fully_inside` is true when the cell's farthest corner
+  /// lies inside the disk, i.e. every point it holds matches without a
+  /// per-point distance check; cells whose NEAREST point already lies
+  /// outside the disk are skipped outright (the bounding box's corner cells
+  /// — a third of it for a square box around a disk). With radius a few
+  /// times the cell size (the simulator's comm-radius queries), most
+  /// populated cells classify one way or the other and only the thin
+  /// boundary ring pays per-point checks. Both gates carry a relative
+  /// margin dwarfing the rounding differences between the corner/edge
+  /// bounds and the per-point arithmetic, so a point within an ulp of the
+  /// circle always reaches the exact per-point check in the caller.
+  template <typename CellVisitor>
+  void for_each_cell(Vec2 center, double radius, CellVisitor&& visit_cell) const {
+    CDPF_CHECK_MSG(radius >= 0.0, "query radius must be non-negative");
+    const double r2_shrunk = radius * radius * (1.0 - 1e-12);
+    const double r2_grown = radius * radius * (1.0 + 1e-12);
+    const std::size_t cx0 = clamped_cell_coord(center.x - radius, bounds_.lo.x, nx_);
+    const std::size_t cx1 = clamped_cell_coord(center.x + radius, bounds_.lo.x, nx_);
+    const std::size_t cy0 = clamped_cell_coord(center.y - radius, bounds_.lo.y, ny_);
+    const std::size_t cy1 = clamped_cell_coord(center.y + radius, bounds_.lo.y, ny_);
+    for (std::size_t cy = cy0; cy <= cy1; ++cy) {
+      // Farthest and nearest y-extent of this cell row from the center,
+      // shared by every cell in the row.
+      const double y_lo = bounds_.lo.y + static_cast<double>(cy) * cell_size_;
+      const double y_hi = y_lo + cell_size_;
+      const double dy_far = std::max(std::abs(center.y - y_lo), std::abs(center.y - y_hi));
+      const double dy_near = std::max({y_lo - center.y, center.y - y_hi, 0.0});
+      for (std::size_t cx = cx0; cx <= cx1; ++cx) {
+        const double x_lo = bounds_.lo.x + static_cast<double>(cx) * cell_size_;
+        const double x_hi = x_lo + cell_size_;
+        const double dx_near = std::max({x_lo - center.x, center.x - x_hi, 0.0});
+        if (dx_near * dx_near + dy_near * dy_near > r2_grown) {
+          continue;  // even the nearest point of this cell is outside
+        }
+        const double dx_far = std::max(std::abs(center.x - x_lo),
+                                       std::abs(center.x - x_hi));
+        visit_cell(cell_at(cx, cy),
+                   dx_far * dx_far + dy_far * dy_far <= r2_shrunk);
+      }
+    }
+  }
+
   std::size_t cell_of(Vec2 p) const;
+  std::size_t clamped_cell_coord(double v, double lo, std::size_t n) const {
+    const auto c = static_cast<std::ptrdiff_t>(std::floor((v - lo) / cell_size_));
+    return static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(c, 0, static_cast<std::ptrdiff_t>(n) - 1));
+  }
   std::size_t cell_at(std::size_t cx, std::size_t cy) const { return cy * nx_ + cx; }
 
   std::vector<Vec2> points_;

@@ -19,6 +19,7 @@ Network::Network(std::vector<geom::Vec2> positions, NetworkConfig config)
                    "node position outside the deployment field");
     nodes_.push_back(Node{static_cast<NodeId>(i), positions[i]});
   }
+  active_.assign(nodes_.size(), 1);
 
   // Cell size near the sensing radius keeps both detection queries (r_s) and
   // radio queries (r_c, a few cells) efficient.
@@ -40,30 +41,34 @@ double Network::density_per_100m2() const {
   return static_cast<double>(nodes_.size()) * 100.0 / config_.field.area();
 }
 
-const Node& Network::node(NodeId id) const {
-  CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
-  return nodes_[id];
-}
-
-geom::Vec2 Network::position(NodeId id) const {
-  CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
-  return believed_positions_.empty() ? nodes_[id].position : believed_positions_[id];
-}
-
 void Network::set_believed_positions(std::vector<geom::Vec2> believed) {
   CDPF_CHECK_MSG(believed.size() == nodes_.size(),
                  "need one believed position per node");
   believed_positions_ = std::move(believed);
 }
 
+void Network::refresh_active(NodeId id) {
+  const std::uint8_t now = nodes_[id].active() ? 1 : 0;
+  if (active_[id] != now) {
+    active_[id] = now;
+    if (now != 0) {
+      --inactive_count_;
+    } else {
+      ++inactive_count_;
+    }
+  }
+}
+
 void Network::set_alive(NodeId id, bool alive) {
   CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
   nodes_[id].alive = alive;
+  refresh_active(id);
 }
 
 void Network::set_power(NodeId id, PowerState state) {
   CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
   nodes_[id].power = state;
+  refresh_active(id);
 }
 
 void Network::reset_runtime_state() {
@@ -71,6 +76,8 @@ void Network::reset_runtime_state() {
     n.alive = true;
     n.power = PowerState::kAwake;
   }
+  std::fill(active_.begin(), active_.end(), std::uint8_t{1});
+  inactive_count_ = 0;
 }
 
 std::size_t Network::nodes_within(geom::Vec2 center, double radius,
@@ -90,12 +97,28 @@ std::vector<NodeId> Network::nodes_within(geom::Vec2 center, double radius) cons
 std::size_t Network::active_nodes_within(geom::Vec2 center, double radius,
                                          std::vector<NodeId>& out) const {
   out.clear();
-  index_->visit_disk(center, radius, [this, &out](std::size_t id) {
-    if (nodes_[id].active()) {
+  if (inactive_count_ == 0) {
+    index_->visit_disk(center, radius, [&out](std::size_t id) {
       out.push_back(static_cast<NodeId>(id));
-    }
-  });
+    });
+  } else {
+    index_->visit_disk(center, radius, [this, &out](std::size_t id) {
+      if (active_[id] != 0) {
+        out.push_back(static_cast<NodeId>(id));
+      }
+    });
+  }
   return out.size();
+}
+
+std::size_t Network::count_active_within(geom::Vec2 center, double radius) const {
+  if (inactive_count_ == 0) {
+    return index_->count_disk(center, radius);
+  }
+  std::size_t count = 0;
+  index_->visit_disk(center, radius,
+                     [this, &count](std::size_t id) { count += active_[id]; });
+  return count;
 }
 
 std::vector<NodeId> Network::detecting_nodes(geom::Vec2 target) const {
@@ -113,16 +136,21 @@ std::vector<NodeId> Network::comm_neighbors(NodeId id) const {
 }
 
 double Network::average_comm_degree() const {
-  if (nodes_.empty()) {
-    return 0.0;
-  }
+  // Degree is a property of the live communication graph: an inactive node
+  // neither has neighbors nor counts as one, so it contributes to neither
+  // the numerator nor the denominator.
   std::size_t total = 0;
+  std::size_t active = 0;
   std::vector<NodeId> scratch;
   for (const Node& n : nodes_) {
+    if (!n.active()) {
+      continue;
+    }
+    ++active;
     active_nodes_within(n.position, config_.comm_radius, scratch);
-    total += scratch.size() - (n.active() ? 1 : 0);
+    total += scratch.size() - 1;  // the query includes the node itself
   }
-  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+  return active == 0 ? 0.0 : static_cast<double>(total) / static_cast<double>(active);
 }
 
 }  // namespace cdpf::wsn

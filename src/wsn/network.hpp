@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "geom/grid_index.hpp"
 #include "geom/shapes.hpp"
 #include "geom/vec2.hpp"
+#include "support/check.hpp"
 #include "wsn/node.hpp"
 
 namespace cdpf::wsn {
@@ -38,10 +40,19 @@ class Network {
   std::size_t size() const { return nodes_.size(); }
   double density_per_100m2() const;
 
-  const Node& node(NodeId id) const;
+  // node() and position() are called tens of millions of times per simulated
+  // track (every spatial filter and likelihood gate reads them), so they are
+  // defined here rather than out of line.
+  const Node& node(NodeId id) const {
+    CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
+    return nodes_[id];
+  }
   /// The position the ALGORITHMS use — the node's belief about where it is
   /// (exact by default; a localization pass may replace it with estimates).
-  geom::Vec2 position(NodeId id) const;
+  geom::Vec2 position(NodeId id) const {
+    CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
+    return believed_positions_.empty() ? nodes_[id].position : believed_positions_[id];
+  }
   /// The physical position — what detection and radio propagation obey.
   geom::Vec2 true_position(NodeId id) const { return node(id).position; }
   /// Install believed positions (one per node), e.g. from wsn::localize().
@@ -60,6 +71,10 @@ class Network {
   void set_alive(NodeId id, bool alive);
   void set_power(NodeId id, PowerState state);
   bool is_active(NodeId id) const { return node(id).active(); }
+  /// True when every node is alive and awake (the common case outside the
+  /// failure/duty-cycle experiments) — spatial queries then skip per-node
+  /// activity checks entirely.
+  bool all_active() const { return inactive_count_ == 0; }
   /// Reset every node to alive + awake.
   void reset_runtime_state();
 
@@ -73,6 +88,11 @@ class Network {
   std::size_t active_nodes_within(geom::Vec2 center, double radius,
                                   std::vector<NodeId>& out) const;
 
+  /// Number of active nodes within `radius` of `center`, without
+  /// materializing the id list. With all nodes active this is a pure
+  /// grid-occupancy count (no per-node memory traffic at all).
+  std::size_t count_active_within(geom::Vec2 center, double radius) const;
+
   /// Active nodes whose sensing disk contains `target` — the detecting set
   /// under the instant-detection model.
   std::vector<NodeId> detecting_nodes(geom::Vec2 target) const;
@@ -84,11 +104,20 @@ class Network {
   double average_comm_degree() const;
 
  private:
+  /// Re-derive active_[id]/inactive_count_ after a runtime-state change.
+  void refresh_active(NodeId id);
+
   NetworkConfig config_;
   std::vector<Node> nodes_;
   std::vector<geom::Vec2> believed_positions_;  // empty => believed == true
   std::unique_ptr<geom::GridIndex> index_;
   NodeId sink_ = kInvalidNodeId;
+  // Activity mirror of nodes_: the spatial-query filter only needs one byte
+  // per node, and the compact array stays cache-resident where the Node
+  // array (visited by grid id order) does not. inactive_count_ == 0 lets
+  // queries skip the filter altogether.
+  std::vector<std::uint8_t> active_;
+  std::size_t inactive_count_ = 0;
 };
 
 }  // namespace cdpf::wsn

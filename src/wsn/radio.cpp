@@ -41,6 +41,23 @@ std::vector<NodeId> Radio::broadcast(NodeId from, MessageKind kind,
   return out;
 }
 
+std::size_t Radio::broadcast_count(NodeId from, MessageKind kind,
+                                   std::size_t payload_bytes) {
+  if (energy_ != nullptr || network_.has_believed_positions()) {
+    broadcast(from, kind, payload_bytes, scratch_);
+    return scratch_.size();
+  }
+  CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
+  // The sender is active and at distance zero from its own (true) position,
+  // so the disk count always includes it; receivers exclude it.
+  const std::size_t receivers =
+      network_.count_active_within(network_.position(from),
+                                   network_.config().comm_radius) -
+      1;
+  stats_.record(kind, payload_bytes, receivers);
+  return receivers;
+}
+
 bool Radio::unicast(NodeId from, NodeId to, MessageKind kind, std::size_t payload_bytes) {
   CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
   if (!network_.is_active(to) || !in_range(from, to)) {

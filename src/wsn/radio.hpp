@@ -44,6 +44,15 @@ class Radio {
   void broadcast(NodeId from, MessageKind kind, std::size_t payload_bytes,
                  std::vector<NodeId>& out);
 
+  /// Broadcast without materializing the receiver set: records exactly the
+  /// statistics broadcast() would and returns the receiver count. Falls back
+  /// to the materializing path (into an internal scratch buffer) when the
+  /// receivers are individually needed — energy accounting charges each one,
+  /// and believed positions can displace the sender out of its own reception
+  /// disk, breaking the count arithmetic.
+  std::size_t broadcast_count(NodeId from, MessageKind kind,
+                              std::size_t payload_bytes);
+
   /// One-hop unicast; requires the receiver to be active and in range.
   /// Returns false (recording nothing) when the link does not exist.
   bool unicast(NodeId from, NodeId to, MessageKind kind, std::size_t payload_bytes);

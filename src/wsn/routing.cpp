@@ -9,15 +9,16 @@ namespace cdpf::wsn {
 GreedyGeographicRouter::GreedyGeographicRouter(const Network& network)
     : network_(network) {}
 
-std::optional<std::vector<NodeId>> GreedyGeographicRouter::route(NodeId from,
-                                                                 NodeId to) const {
+bool GreedyGeographicRouter::route_into(NodeId from, NodeId to,
+                                        std::vector<NodeId>& path,
+                                        std::vector<NodeId>& neighbors) const {
   CDPF_CHECK_MSG(network_.is_active(from), "route source must be active");
   CDPF_CHECK_MSG(network_.is_active(to), "route destination must be active");
 
   const geom::Vec2 destination = network_.position(to);
-  std::vector<NodeId> path{from};
+  path.clear();
+  path.push_back(from);
   NodeId current = from;
-  std::vector<NodeId> neighbors;
   // The path length is bounded by the network diameter in hops; greedy
   // strictly decreases the distance to the destination each hop, so the
   // loop terminates. The explicit bound is a belt-and-braces guard.
@@ -40,12 +41,19 @@ std::optional<std::vector<NodeId>> GreedyGeographicRouter::route(NodeId from,
       }
     }
     if (best == kInvalidNodeId) {
-      return std::nullopt;  // greedy void: no strictly closer neighbor
+      return false;  // greedy void: no strictly closer neighbor
     }
     path.push_back(best);
     current = best;
   }
-  if (current != to) {
+  return current == to;
+}
+
+std::optional<std::vector<NodeId>> GreedyGeographicRouter::route(NodeId from,
+                                                                 NodeId to) const {
+  std::vector<NodeId> path;
+  std::vector<NodeId> neighbors;
+  if (!route_into(from, to, path, neighbors)) {
     return std::nullopt;
   }
   return path;
@@ -63,16 +71,23 @@ std::optional<std::size_t> GreedyGeographicRouter::hop_count(NodeId from,
 std::optional<std::size_t> GreedyGeographicRouter::send(Radio& radio, NodeId from,
                                                         NodeId to, MessageKind kind,
                                                         std::size_t payload_bytes) const {
-  const auto path = route(from, to);
-  if (!path) {
+  std::vector<NodeId> path;
+  std::vector<NodeId> neighbors;
+  return send(radio, from, to, kind, payload_bytes, path, neighbors);
+}
+
+std::optional<std::size_t> GreedyGeographicRouter::send(
+    Radio& radio, NodeId from, NodeId to, MessageKind kind, std::size_t payload_bytes,
+    std::vector<NodeId>& path, std::vector<NodeId>& neighbors) const {
+  if (!route_into(from, to, path, neighbors)) {
     return std::nullopt;
   }
-  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
-    const bool delivered = radio.unicast((*path)[i], (*path)[i + 1], kind, payload_bytes);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const bool delivered = radio.unicast(path[i], path[i + 1], kind, payload_bytes);
     CDPF_ASSERT(delivered);
     (void)delivered;
   }
-  return path->size() - 1;
+  return path.size() - 1;
 }
 
 }  // namespace cdpf::wsn

@@ -27,6 +27,13 @@ class GreedyGeographicRouter {
   /// the destination than the current node).
   std::optional<std::vector<NodeId>> route(NodeId from, NodeId to) const;
 
+  /// Allocation-free core of route(): writes the node sequence into `path`
+  /// (cleared first) using `neighbors` as scratch, so callers on the
+  /// per-iteration hot path can reuse warm buffers. Returns false on a
+  /// greedy void (path contents are then unspecified).
+  bool route_into(NodeId from, NodeId to, std::vector<NodeId>& path,
+                  std::vector<NodeId>& neighbors) const;
+
   /// Number of transmissions on the route (route length - 1), or nullopt.
   std::optional<std::size_t> hop_count(NodeId from, NodeId to) const;
 
@@ -35,6 +42,12 @@ class GreedyGeographicRouter {
   /// route exists (nothing is recorded then).
   std::optional<std::size_t> send(Radio& radio, NodeId from, NodeId to,
                                   MessageKind kind, std::size_t payload_bytes) const;
+
+  /// send() with caller-provided scratch (see route_into).
+  std::optional<std::size_t> send(Radio& radio, NodeId from, NodeId to,
+                                  MessageKind kind, std::size_t payload_bytes,
+                                  std::vector<NodeId>& path,
+                                  std::vector<NodeId>& neighbors) const;
 
  private:
   const Network& network_;

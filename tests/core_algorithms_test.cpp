@@ -50,8 +50,8 @@ TEST(Cdpf, InitializationSeedsDetectingNodesWithoutEstimate) {
   filter.iterate(truth_at(0.0), 5.0, f.rng);
   EXPECT_FALSE(filter.particles().empty());
   // Hosts are exactly nodes within the sensing radius of the target.
-  for (const auto& [host, p] : filter.particles().by_host()) {
-    EXPECT_LE(geom::distance(f.network.position(host), truth_at(0.0).position), 10.0);
+  for (const core::NodeParticle& p : filter.particles().particles()) {
+    EXPECT_LE(geom::distance(f.network.position(p.host), truth_at(0.0).position), 10.0);
   }
   EXPECT_TRUE(filter.take_estimates().empty());  // estimates lag one iteration
 }
@@ -127,7 +127,7 @@ TEST(Cdpf, RecoversAfterTotalNodeFailureAroundTarget) {
   filter.iterate(truth_at(0.0), 0.0, f.rng);
   // Kill every current host: the next propagation loses all particles and
   // the filter must reinitialize from detections.
-  for (const auto& [host, p] : filter.particles().by_host()) {
+  for (const wsn::NodeId host : filter.particles().sorted_hosts()) {
     f.network.set_alive(host, false);
   }
   filter.iterate(truth_at(5.0), 5.0, f.rng);

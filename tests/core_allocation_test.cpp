@@ -1,0 +1,133 @@
+// Steady-state allocation freedom (the hot-path contract): once a Cdpf
+// filter's buffers are warm, iterate_snapshot() must not touch the global
+// heap at all — for CDPF and CDPF-NE alike, including the propagation
+// round, the weight-assignment step, and the sink report. The test swaps in
+// counting replacements for the global allocation functions and asserts the
+// counter stays at zero across measured iterations.
+//
+// take_estimates() intentionally stays OUTSIDE the measured window: handing
+// the pending estimates to the caller materializes a fresh vector by
+// design (the internal buffer keeps its capacity).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/cdpf.hpp"
+#include "tracking/measurement.hpp"
+#include "wsn/deployment.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc{};
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace cdpf {
+namespace {
+
+constexpr double kDt = 1.0;
+constexpr int kWarmupSteps = 12;
+constexpr int kMeasuredSteps = 8;
+
+/// Allocations performed inside iterate_snapshot() after a warm-up phase.
+std::size_t steady_state_allocations(bool neighborhood_estimation) {
+  rng::Rng rng(424242);
+  const geom::Aabb field = geom::Aabb::square(200.0);
+  const auto positions = wsn::deploy_uniform_random(
+      wsn::node_count_for_density(20.0, field), field, rng);
+  wsn::Network network(positions, wsn::NetworkConfig{field, 10.0, 30.0});
+  wsn::Radio radio(network, wsn::PayloadSizes{});
+
+  core::CdpfConfig config;
+  config.dt = kDt;
+  config.use_neighborhood_estimation = neighborhood_estimation;
+  config.report_estimates_to_sink = true;  // include the routing hot path
+  core::Cdpf filter(network, radio, config);
+
+  // Stage every snapshot before anything is measured: assembling the
+  // sensing input is the simulator's job, not part of the filter iteration.
+  const tracking::BearingMeasurementModel bearing(config.sigma_bearing);
+  std::vector<core::SensingSnapshot> snapshots;
+  for (int step = 0; step < kWarmupSteps + kMeasuredSteps; ++step) {
+    const geom::Vec2 target{60.0 + 3.0 * kDt * static_cast<double>(step), 100.0};
+    core::SensingSnapshot snapshot;
+    for (const wsn::NodeId id : network.detecting_nodes(target)) {
+      snapshot.detections.push_back({id, std::numeric_limits<double>::quiet_NaN()});
+      snapshot.measurements.push_back(
+          {id, bearing.measure(network.true_position(id), target, rng)});
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+
+  for (int step = 0; step < kWarmupSteps; ++step) {
+    filter.iterate_snapshot(snapshots[static_cast<std::size_t>(step)],
+                            kDt * static_cast<double>(step), rng);
+    (void)filter.take_estimates();
+  }
+  EXPECT_FALSE(filter.particles().empty()) << "warm-up lost the track";
+
+  g_allocations.store(0);
+  for (int step = kWarmupSteps; step < kWarmupSteps + kMeasuredSteps; ++step) {
+    g_counting.store(true);
+    filter.iterate_snapshot(snapshots[static_cast<std::size_t>(step)],
+                            kDt * static_cast<double>(step), rng);
+    g_counting.store(false);
+    (void)filter.take_estimates();
+  }
+  EXPECT_FALSE(filter.particles().empty()) << "measured phase lost the track";
+  return g_allocations.load();
+}
+
+TEST(SteadyStateAllocation, CdpfIterationIsAllocationFree) {
+  EXPECT_EQ(steady_state_allocations(false), 0u);
+}
+
+TEST(SteadyStateAllocation, CdpfNeIterationIsAllocationFree) {
+  EXPECT_EQ(steady_state_allocations(true), 0u);
+}
+
+}  // namespace
+}  // namespace cdpf

@@ -123,18 +123,20 @@ TEST(Propagation, OverhearingIsCompleteUnderPaperAssumption) {
   }
   ASSERT_GT(store.size(), 5u);
 
+  PropagationConfig config = prop_config();
+  config.per_node_overhearing = true;  // this test inspects the per-node table
   const auto outcome =
-      propagate_particles(store, net, radio, quiet_motion(1.0), prop_config(), rng);
+      propagate_particles(store, net, radio, quiet_motion(1.0), config, rng);
   ASSERT_GT(outcome.next.size(), 0u);
-  for (const auto& [recorder, particle] : outcome.next.by_host()) {
-    const auto it = outcome.overheard.find(recorder);
-    ASSERT_NE(it, outcome.overheard.end());
-    EXPECT_NEAR(it->second.total_weight, outcome.global.total_weight, 1e-9)
-        << "recorder " << recorder;
-    EXPECT_EQ(it->second.particles_heard, outcome.global.particles_heard);
+  for (const NodeParticle& particle : outcome.next.particles()) {
+    const auto* heard = outcome.overheard.find(particle.host);
+    ASSERT_NE(heard, nullptr);
+    EXPECT_NEAR(heard->total_weight, outcome.global.total_weight, 1e-9)
+        << "recorder " << particle.host;
+    EXPECT_EQ(heard->particles_heard, outcome.global.particles_heard);
     // The locally overheard estimate matches the global one (Theorem-2-like
     // consistency of the correction step).
-    const auto local = it->second.estimate();
+    const auto local = heard->estimate();
     const auto global = outcome.global.estimate();
     EXPECT_NEAR(geom::distance(local.position, global.position), 0.0, 1e-9);
   }
@@ -159,13 +161,14 @@ TEST(Propagation, OverhearingCanBeIncompleteWhenAssumptionViolated) {
 
   PropagationConfig config = prop_config();
   config.record_radius = 18.0;
+  config.per_node_overhearing = true;  // this test inspects the per-node table
   const auto outcome =
       propagate_particles(store, net, radio, quiet_motion(), config, rng);
   std::size_t incomplete = 0;
-  for (const auto& [recorder, particle] : outcome.next.by_host()) {
-    const auto it = outcome.overheard.find(recorder);
-    if (it == outcome.overheard.end() ||
-        it->second.total_weight < outcome.global.total_weight - 1e-9) {
+  for (const NodeParticle& particle : outcome.next.particles()) {
+    const auto* heard = outcome.overheard.find(particle.host);
+    if (heard == nullptr ||
+        heard->total_weight < outcome.global.total_weight - 1e-9) {
       ++incomplete;
     }
   }

@@ -147,13 +147,32 @@ TEST(Experiment, MonteCarloIndependentOfWorkerCount) {
   scenario.density_per_100m2 = 5.0;
   scenario.trajectory.num_steps = 20;
   const AlgorithmParams params;
-  const MonteCarloResult serial =
-      run_monte_carlo(scenario, AlgorithmKind::kCdpfNe, params, 4, 7, /*workers=*/1);
-  const MonteCarloResult parallel =
-      run_monte_carlo(scenario, AlgorithmKind::kCdpfNe, params, 4, 7, /*workers=*/4);
-  EXPECT_DOUBLE_EQ(serial.rmse.mean(), parallel.rmse.mean());
-  EXPECT_DOUBLE_EQ(serial.total_bytes.mean(), parallel.total_bytes.mean());
-  EXPECT_EQ(serial.trials, 4u);
+  // Every aggregate must match bit for bit: trial seeds derive from the
+  // trial index and aggregation order is fixed, so the worker count may not
+  // leak into any statistic. Exercised for both CDPF variants and with more
+  // workers than trials (some workers idle).
+  const auto expect_identical = [](const MonteCarloResult& a,
+                                   const MonteCarloResult& b) {
+    EXPECT_DOUBLE_EQ(a.rmse.mean(), b.rmse.mean());
+    EXPECT_DOUBLE_EQ(a.rmse.stddev(), b.rmse.stddev());
+    EXPECT_DOUBLE_EQ(a.mean_error.mean(), b.mean_error.mean());
+    EXPECT_DOUBLE_EQ(a.total_bytes.mean(), b.total_bytes.mean());
+    EXPECT_DOUBLE_EQ(a.total_messages.mean(), b.total_messages.mean());
+    EXPECT_DOUBLE_EQ(a.estimates.mean(), b.estimates.mean());
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.trials_without_estimates, b.trials_without_estimates);
+  };
+  for (const AlgorithmKind kind : {AlgorithmKind::kCdpf, AlgorithmKind::kCdpfNe}) {
+    const MonteCarloResult serial =
+        run_monte_carlo(scenario, kind, params, 4, 7, /*workers=*/1);
+    const MonteCarloResult parallel =
+        run_monte_carlo(scenario, kind, params, 4, 7, /*workers=*/4);
+    const MonteCarloResult oversubscribed =
+        run_monte_carlo(scenario, kind, params, 4, 7, /*workers=*/9);
+    expect_identical(serial, parallel);
+    expect_identical(serial, oversubscribed);
+    EXPECT_EQ(serial.trials, 4u);
+  }
 }
 
 TEST(Experiment, HookFactoryReceivesNetwork) {

@@ -163,6 +163,64 @@ TEST(Network, DensityAndDegreeDiagnostics) {
   EXPECT_NEAR(net.average_comm_degree(), expected, expected * 0.25);
 }
 
+TEST(Network, AverageCommDegreeCountsOnlyActiveNodes) {
+  rng::Rng rng(7);
+  const auto positions = deploy_uniform_random(500, geom::Aabb::square(200.0), rng);
+  Network net(positions, paper_config());
+  const double all_active = net.average_comm_degree();
+  ASSERT_GT(all_active, 0.0);
+  // Deactivate a third of the nodes (mixing failure and sleep): the live
+  // communication graph shrinks, so the mean degree must drop, and inactive
+  // nodes must not appear in the denominator either.
+  for (NodeId id = 0; id < 500; id += 3) {
+    (id % 2 == 0) ? net.set_alive(id, false) : net.set_power(id, PowerState::kAsleep);
+  }
+  const double degraded = net.average_comm_degree();
+  EXPECT_LT(degraded, all_active);
+  EXPECT_GT(degraded, 0.0);
+  // Reference: count active neighbors of active nodes by brute force.
+  const double rc = net.config().comm_radius;
+  std::size_t total = 0, active = 0;
+  for (const Node& a : net.nodes()) {
+    if (!a.active()) continue;
+    ++active;
+    for (const Node& b : net.nodes()) {
+      if (b.id != a.id && b.active() &&
+          geom::distance(a.position, b.position) <= rc) {
+        ++total;
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(degraded,
+                   static_cast<double>(total) / static_cast<double>(active));
+  net.reset_runtime_state();
+  EXPECT_DOUBLE_EQ(net.average_comm_degree(), all_active);
+}
+
+TEST(Network, CountActiveWithinMatchesListQuery) {
+  rng::Rng rng(8);
+  const auto positions = deploy_uniform_random(800, geom::Aabb::square(200.0), rng);
+  Network net(positions, paper_config());
+  std::vector<NodeId> out;
+  const auto check_everywhere = [&] {
+    for (const geom::Vec2 center : {geom::Vec2{100.0, 100.0}, geom::Vec2{0.0, 0.0},
+                                    geom::Vec2{199.0, 3.0}, geom::Vec2{55.5, 140.2}}) {
+      for (const double radius : {0.0, 10.0, 30.0, 75.0}) {
+        EXPECT_EQ(net.count_active_within(center, radius),
+                  net.active_nodes_within(center, radius, out))
+            << "center (" << center.x << ", " << center.y << ") radius " << radius;
+      }
+    }
+  };
+  check_everywhere();  // all-active fast path (pure occupancy count)
+  for (NodeId id = 0; id < 800; id += 5) {
+    net.set_alive(id, false);
+  }
+  check_everywhere();  // per-node filter path
+  net.reset_runtime_state();
+  check_everywhere();
+}
+
 TEST(Network, OverhearingAssumptionFlag) {
   NetworkConfig c = paper_config();
   EXPECT_TRUE(c.overhearing_assumption_holds());  // 10 <= 30/2

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two benchmark reports and print per-benchmark speedups.
+
+Accepts either report flavor on both sides and normalizes them to
+seconds-per-iteration before comparing:
+
+* google-benchmark JSON (``--benchmark_out=...`` / ``--benchmark_format=json``):
+  ``benchmarks[].real_time`` in ``time_unit`` is already per-iteration.
+* cdpf-bench/1 JSON (the ``--json=`` artifact of ``micro_kernels`` and the
+  ``bench::emit`` harness): ``wall_seconds`` accumulates over ``iterations``.
+
+Usage:
+  tools/bench_compare.py BASELINE.json CURRENT.json
+  tools/bench_compare.py BASELINE.json CURRENT.json --merge BENCH_cdpf.json
+
+``--merge`` writes CURRENT back out as a cdpf-bench/1 document with
+``baseline_seconds_per_iteration`` and ``speedup`` attached to every
+benchmark present in both reports — the committed, machine-readable record
+of a performance change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+_TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load_report(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        raise SystemExit(f"{path}: not a benchmark report (no 'benchmarks' key)")
+    return doc
+
+
+def seconds_per_iteration(doc, path):
+    """Normalize a report to {benchmark name: seconds per iteration}."""
+    out = {}
+    if doc.get("schema", "").startswith("cdpf-bench/"):
+        for b in doc["benchmarks"]:
+            iterations = b.get("iterations", 0)
+            if iterations:
+                out[b["name"]] = b["wall_seconds"] / iterations
+        return out
+    for b in doc["benchmarks"]:
+        # google-benchmark: skip aggregate rows (mean/median/stddev repeats).
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        unit = _TIME_UNIT_SECONDS.get(b.get("time_unit", "ns"))
+        if unit is None:
+            raise SystemExit(f"{path}: unknown time_unit in {b['name']}")
+        out[b["name"]] = b["real_time"] * unit
+    return out
+
+
+def format_seconds(seconds):
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline report (either flavor)")
+    parser.add_argument("current", help="current report (either flavor)")
+    parser.add_argument(
+        "--merge",
+        metavar="OUT",
+        help="write CURRENT as cdpf-bench/1 with baseline + speedup merged in",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_doc = load_report(args.baseline)
+    current_doc = load_report(args.current)
+    baseline = seconds_per_iteration(baseline_doc, args.baseline)
+    current = seconds_per_iteration(current_doc, args.current)
+
+    shared = [name for name in current if name in baseline]
+    if not shared:
+        raise SystemExit("no benchmark names in common between the two reports")
+
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'speedup':>8}")
+    for name in shared:
+        speedup = baseline[name] / current[name] if current[name] > 0 else float("inf")
+        print(
+            f"{name:<{width}}  {format_seconds(baseline[name]):>12}  "
+            f"{format_seconds(current[name]):>12}  {speedup:>7.2f}x"
+        )
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    for name in only_baseline:
+        print(f"{name}: only in baseline", file=sys.stderr)
+    for name in only_current:
+        print(f"{name}: only in current", file=sys.stderr)
+
+    if args.merge:
+        merged = {
+            "schema": "cdpf-bench/1",
+            "git_revision": current_doc.get("git_revision", "unknown"),
+            "context": dict(current_doc.get("context", {})),
+            "benchmarks": [],
+        }
+        merged["context"]["baseline_git_revision"] = baseline_doc.get(
+            "git_revision", "unknown"
+        )
+        for name, per_iter in current.items():
+            entry = {
+                "name": name,
+                "wall_seconds": per_iter,
+                "iterations": 1,
+                "iterations_per_second": 1.0 / per_iter if per_iter > 0 else 0.0,
+            }
+            if name in baseline and per_iter > 0:
+                entry["baseline_seconds_per_iteration"] = baseline[name]
+                entry["speedup"] = baseline[name] / per_iter
+            merged["benchmarks"].append(entry)
+        with open(args.merge, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=2)
+            fh.write("\n")
+        print(f"merged report written to {args.merge}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
