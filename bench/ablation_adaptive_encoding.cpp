@@ -26,20 +26,28 @@ struct Row {
 };
 
 Row run(const core::CpfConfig& config, const sim::Scenario& scenario,
-        std::size_t trials, std::uint64_t seed) {
+        std::size_t trials, std::uint64_t seed, std::size_t workers) {
+  // One slot per trial, folded in trial order below — the aggregates are
+  // identical for any worker count.
+  const std::vector<Row> slots = bench::run_slots_ordered<Row>(
+      trials, workers, [&](std::size_t t) {
+        rng::Rng rng(rng::derive_stream_seed(seed, t));
+        wsn::Network network = sim::build_network(scenario, rng);
+        wsn::Radio radio(network, scenario.payloads);
+        const tracking::Trajectory trajectory =
+            tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+        core::CentralizedPf tracker(network, radio, config);
+        const sim::RunOutcome outcome = sim::run_tracking(tracker, trajectory, rng);
+        return Row{outcome.rmse(), static_cast<double>(outcome.comm.total_bytes()),
+                   static_cast<double>(outcome.comm.total_messages()),
+                   tracker.mean_bits_per_measurement()};
+      });
   support::RunningStats rmse, bytes, messages, bits;
-  for (std::size_t t = 0; t < trials; ++t) {
-    rng::Rng rng(rng::derive_stream_seed(seed, t));
-    wsn::Network network = sim::build_network(scenario, rng);
-    wsn::Radio radio(network, scenario.payloads);
-    const tracking::Trajectory trajectory =
-        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
-    core::CentralizedPf tracker(network, radio, config);
-    const sim::RunOutcome outcome = sim::run_tracking(tracker, trajectory, rng);
-    rmse.add(outcome.rmse());
-    bytes.add(static_cast<double>(outcome.comm.total_bytes()));
-    messages.add(static_cast<double>(outcome.comm.total_messages()));
-    bits.add(tracker.mean_bits_per_measurement());
+  for (const Row& slot : slots) {
+    rmse.add(slot.rmse);
+    bytes.add(slot.bytes);
+    messages.add(slot.messages);
+    bits.add(slot.bits_per_measurement);
   }
   return {rmse.mean(), bytes.mean(), messages.mean(), bits.mean()};
 }
@@ -76,7 +84,8 @@ int main(int argc, char** argv) {
                     {"DPF (quantized)", &dpf, 16.0},
                     {"DPF-A (Huffman innovations)", &dpfa, 0.0}};
     for (const auto& v : variants) {
-      const Row r = run(*v.config, scenario, options.trials, options.seed);
+      const Row r =
+          run(*v.config, scenario, options.trials, options.seed, options.workers);
       auto row = table.row();
       row.cell(v.name)
           .cell(r.rmse, 2)

@@ -16,6 +16,7 @@
 #include "support/cli.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cdpf::bench {
 
@@ -62,6 +63,30 @@ inline BenchOptions parse_common(support::CliArgs& args,
   options.json_path = args.get_string("json");
   options.wall.reset();
   return options;
+}
+
+/// Run `count` independent jobs — Monte Carlo trials or per-variant
+/// measurements — with `job(i)` producing slot i, distributed over
+/// `workers` threads when both exceed one. Each job writes only its own
+/// pre-sized slot and the caller folds the returned vector serially in
+/// ascending slot order, so every aggregate is identical for any worker
+/// count (the determinism contract of the batch compute plane; see
+/// DESIGN.md). `job` must be self-contained: derive the trial RNG from the
+/// slot index, never share mutable state across slots.
+template <typename Result, typename JobFn>
+std::vector<Result> run_slots_ordered(std::size_t count, std::size_t workers,
+                                      JobFn job) {
+  std::vector<Result> results(count);
+  auto run_one = [&](std::size_t i) { results[i] = job(i); };
+  if (workers > 1 && count > 1) {
+    support::ThreadPool pool(std::min(workers, count));
+    pool.parallel_for(count, run_one);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      run_one(i);
+    }
+  }
+  return results;
 }
 
 /// Emit the finished table to stdout (ASCII) and optionally to CSV and to a

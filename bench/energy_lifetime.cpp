@@ -21,21 +21,28 @@ struct EnergyOutcome {
 };
 
 EnergyOutcome run(sim::AlgorithmKind kind, const sim::Scenario& scenario,
-                  std::size_t trials, std::uint64_t seed) {
+                  std::size_t trials, std::uint64_t seed, std::size_t workers) {
+  // One slot per trial, summed in trial order — identical for any worker
+  // count.
+  const std::vector<EnergyOutcome> slots = bench::run_slots_ordered<EnergyOutcome>(
+      trials, workers, [&](std::size_t t) {
+        rng::Rng rng(rng::derive_stream_seed(seed, t));
+        wsn::Network network = sim::build_network(scenario, rng);
+        wsn::EnergyModel energy(network.size(), wsn::EnergyParams{});
+        wsn::Radio radio(network, scenario.payloads, &energy);
+        const tracking::Trajectory trajectory =
+            tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+        const sim::AlgorithmParams params;
+        auto tracker = sim::make_tracker(kind, network, radio, params);
+        const sim::RunOutcome outcome = sim::run_tracking(*tracker, trajectory, rng);
+        return EnergyOutcome{energy.total_consumed_uj() / 1000.0,
+                             energy.max_consumed_uj(), outcome.rmse()};
+      });
   EnergyOutcome out;
-  for (std::size_t t = 0; t < trials; ++t) {
-    rng::Rng rng(rng::derive_stream_seed(seed, t));
-    wsn::Network network = sim::build_network(scenario, rng);
-    wsn::EnergyModel energy(network.size(), wsn::EnergyParams{});
-    wsn::Radio radio(network, scenario.payloads, &energy);
-    const tracking::Trajectory trajectory =
-        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
-    const sim::AlgorithmParams params;
-    auto tracker = sim::make_tracker(kind, network, radio, params);
-    const sim::RunOutcome outcome = sim::run_tracking(*tracker, trajectory, rng);
-    out.total_mj += energy.total_consumed_uj() / 1000.0;
-    out.hotspot_uj += energy.max_consumed_uj();
-    out.rmse += outcome.rmse();
+  for (const EnergyOutcome& slot : slots) {
+    out.total_mj += slot.total_mj;
+    out.hotspot_uj += slot.hotspot_uj;
+    out.rmse += slot.rmse;
   }
   const double n = static_cast<double>(trials);
   out.total_mj /= n;
@@ -62,7 +69,8 @@ int main(int argc, char** argv) {
     support::Table table({"algorithm", "total (mJ)", "hotspot node (uJ)",
                           "runs per 1 J hotspot budget", "RMSE (m)"});
     for (const sim::AlgorithmKind kind : sim::kAllAlgorithms) {
-      const EnergyOutcome e = run(kind, scenario, options.trials, options.seed);
+      const EnergyOutcome e =
+          run(kind, scenario, options.trials, options.seed, options.workers);
       auto row = table.row();
       row.cell(std::string(sim::algorithm_name(kind)))
           .cell(e.total_mj, 2)

@@ -51,8 +51,16 @@ int main(int argc, char** argv) {
     const tracking::Trajectory trajectory =
         tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
 
-    const auto cdpf = run_one(sim::AlgorithmKind::kCdpf, scenario, options.seed);
-    const auto ne = run_one(sim::AlgorithmKind::kCdpfNe, scenario, options.seed);
+    // The two filters replay the same trial independently; with --workers>1
+    // they run concurrently, and the slot order keeps output identical.
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCdpf,
+                                        sim::AlgorithmKind::kCdpfNe};
+    const auto runs =
+        bench::run_slots_ordered<std::map<int, core::TimedEstimate>>(
+            2, options.workers,
+            [&](std::size_t i) { return run_one(kinds[i], scenario, options.seed); });
+    const auto& cdpf = runs[0];
+    const auto& ne = runs[1];
 
     std::cout << "Figure 4 — estimation example (density " << density
               << " nodes/100m^2, one run)\n";

@@ -29,31 +29,38 @@ struct Estimator {
 };
 
 double run(const sim::Scenario& scenario, std::uint64_t seed, std::size_t trials,
-           const std::function<Estimator(rng::Rng&)>& make) {
-  support::RunningStats rmse;
-  for (std::size_t t = 0; t < trials; ++t) {
-    rng::Rng rng(rng::derive_stream_seed(seed, t));
-    wsn::Network network = sim::build_network(scenario, rng);
-    const tracking::Trajectory trajectory =
-        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
-    const tracking::BearingMeasurementModel bearing(0.05);
-    Estimator estimator = make(rng);
+           std::size_t workers, const std::function<Estimator(rng::Rng&)>& make) {
+  // One slot per trial (each trial owns its RNG stream, network, and
+  // estimator), folded in trial order — identical for any worker count.
+  const std::vector<double> slots = bench::run_slots_ordered<double>(
+      trials, workers, [&](std::size_t t) {
+        rng::Rng rng(rng::derive_stream_seed(seed, t));
+        wsn::Network network = sim::build_network(scenario, rng);
+        const tracking::Trajectory trajectory =
+            tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+        const tracking::BearingMeasurementModel bearing(0.05);
+        Estimator estimator = make(rng);
 
-    support::RunningStats sq_errors;
-    for (double time = 1.0; time <= trajectory.duration() + 1e-9; time += 1.0) {
-      const tracking::TargetState truth = trajectory.at_time(time);
-      estimator.predict();
-      std::vector<filters::BearingObservation> observations;
-      for (const wsn::NodeId id : network.detecting_nodes(truth.position)) {
-        observations.push_back(
-            {network.position(id),
-             bearing.measure(network.position(id), truth.position, rng)});
-      }
-      estimator.update(observations, rng);
-      const double e = geom::distance(estimator.estimate().position, truth.position);
-      sq_errors.add(e * e);
-    }
-    rmse.add(std::sqrt(sq_errors.mean()));
+        support::RunningStats sq_errors;
+        for (double time = 1.0; time <= trajectory.duration() + 1e-9; time += 1.0) {
+          const tracking::TargetState truth = trajectory.at_time(time);
+          estimator.predict();
+          std::vector<filters::BearingObservation> observations;
+          for (const wsn::NodeId id : network.detecting_nodes(truth.position)) {
+            observations.push_back(
+                {network.position(id),
+                 bearing.measure(network.position(id), truth.position, rng)});
+          }
+          estimator.update(observations, rng);
+          const double e =
+              geom::distance(estimator.estimate().position, truth.position);
+          sq_errors.add(e * e);
+        }
+        return std::sqrt(sq_errors.mean());
+      });
+  support::RunningStats rmse;
+  for (const double slot : slots) {
+    rmse.add(slot);
   }
   return rmse.mean();
 }
@@ -85,8 +92,12 @@ int main(int argc, char** argv) {
     auto add = [&](const char* name, const std::function<Estimator(rng::Rng&)>& make) {
       auto row = table.row();
       row.cell(name)
-          .cell(run(dense_scenario, options.seed, options.trials, make), 2)
-          .cell(run(sparse_scenario, options.seed, options.trials, make), 2);
+          .cell(run(dense_scenario, options.seed, options.trials, options.workers,
+                    make),
+                2)
+          .cell(run(sparse_scenario, options.seed, options.trials, options.workers,
+                    make),
+                2);
       table.commit_row(row);
     };
 

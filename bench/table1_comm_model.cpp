@@ -99,11 +99,20 @@ int main(int argc, char** argv) {
       mean_hops = count > 0 ? (total + count / 2) / count : 0;
     }
 
-    const auto cpf = measure(sim::AlgorithmKind::kCpf, scenario, options.seed);
-    const auto dpf = measure(sim::AlgorithmKind::kDpf, scenario, options.seed);
-    const auto sdpf = measure(sim::AlgorithmKind::kSdpf, scenario, options.seed);
-    const auto cdpf = measure(sim::AlgorithmKind::kCdpf, scenario, options.seed);
-    const auto ne = measure(sim::AlgorithmKind::kCdpfNe, scenario, options.seed);
+    // The five measurements replay the same deployment independently; with
+    // --workers>1 they run concurrently, and slot order keeps the table
+    // identical for any worker count.
+    const sim::AlgorithmKind kinds[] = {
+        sim::AlgorithmKind::kCpf, sim::AlgorithmKind::kDpf, sim::AlgorithmKind::kSdpf,
+        sim::AlgorithmKind::kCdpf, sim::AlgorithmKind::kCdpfNe};
+    const auto measured = bench::run_slots_ordered<MeasuredIteration>(
+        5, options.workers,
+        [&](std::size_t i) { return measure(kinds[i], scenario, options.seed); });
+    const auto& cpf = measured[0];
+    const auto& dpf = measured[1];
+    const auto& sdpf = measured[2];
+    const auto& cdpf = measured[3];
+    const auto& ne = measured[4];
 
     auto add = [&](const std::string& name, const std::string& expr,
                    std::size_t analyzed, const MeasuredIteration& m) {

@@ -1,0 +1,67 @@
+// Shared per-pair kernels of the SoA batch-compute plane.
+//
+// The scalar reference paths and the batched paths of the CDPF hot loops
+// (likelihood evaluation, record gating, neighborhood contributions) both
+// call the inline kernels defined here, with identical arithmetic on
+// identical inputs. That is the whole equivalence contract: as long as the
+// two paths feed the kernels the same (dx, dy, d2) values in the same order
+// and accumulate with the same plain additions, their results are bitwise
+// identical — tested by core_batch_equivalence_test.
+//
+// Kernels take precomputed displacement components instead of Vec2 pairs so
+// the batch paths can stream them out of contiguous double arrays, and they
+// work on SQUARED distances throughout: hypot() — correct but sequential —
+// never appears on the hot path; the few places that need a length use one
+// sqrt of an already-computed squared distance.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/angles.hpp"
+#include "support/check.hpp"
+
+namespace cdpf::core {
+
+/// log(sqrt(2*pi)), the Gaussian normalization constant in the log domain.
+inline constexpr double kLogSqrt2Pi = 0.9189385332046727;
+
+/// Precomputed squared parameters of the quantization-inflated bearing
+/// likelihood. The inflated noise of the AoS formulation was
+///   sigma_eff = hypot(sigma0, delta / max(d, floor)),
+/// which this plane evaluates as a variance:
+///   sigma_eff^2 = sigma0^2 + delta^2 / max(d^2, floor^2)
+/// — the same quantity (squaring is monotone, so the max commutes) without
+/// the hypot or the sqrt of d^2.
+struct BearingBatchParams {
+  double sigma0_sq = 0.0;  // base bearing-noise variance
+  double delta_sq = 0.0;   // quantization length, squared
+  double floor_sq = 0.0;   // distance-squared floor of the inflation term
+
+  BearingBatchParams(double sigma0, double delta) {
+    CDPF_CHECK_MSG(sigma0 > 0.0, "bearing sigma must be positive");
+    CDPF_CHECK_MSG(delta >= 0.0, "quantization length must be non-negative");
+    sigma0_sq = sigma0 * sigma0;
+    delta_sq = delta * delta;
+    const double floor = delta > 0.0 ? delta : 1e-3;
+    floor_sq = floor * floor;
+  }
+};
+
+/// Log-likelihood of one bearing measurement `z` for an evaluation point
+/// displaced (dx, dy) = p - sensor from the measuring sensor, with
+/// d2 = dx*dx + dy*dy. The caller computes the displacement once and shares
+/// it between the comm-range gate and this kernel.
+inline double bearing_pair_log_likelihood(double z, double dx, double dy, double d2,
+                                          const BearingBatchParams& params) {
+  // Debug-only: the kernel runs millions of times per iteration, so the
+  // precondition compiles out of release builds (NDEBUG).
+  CDPF_ASSERT(d2 >= 0.0);
+  const double residual = geom::angle_difference(z, std::atan2(dy, dx));
+  const double sigma_sq =
+      params.sigma0_sq + params.delta_sq / std::max(d2, params.floor_sq);
+  return -0.5 * std::log(sigma_sq) - kLogSqrt2Pi -
+         0.5 * residual * residual / sigma_sq;
+}
+
+}  // namespace cdpf::core

@@ -10,9 +10,31 @@ namespace cdpf::core {
 
 namespace {
 
-double clamped_distance(geom::Vec2 node, geom::Vec2 predicted,
-                        const NeighborhoodEstimationConfig& config) {
-  return std::max(geom::distance(node, predicted), config.min_distance_m);
+// One arithmetic for every contribution path (Vec2 spans, SoA coordinate
+// arrays, own_contribution): Theorem 2 — every node computes identical
+// values — is asserted as exact equality by the tests, so the paths must
+// not merely agree mathematically but share the same operations. The
+// distance comes from sqrt(dx^2 + dy^2) rather than hypot: an ulp-level
+// accuracy trade the clamp and the normalization are indifferent to, and
+// the form auto-vectorizes.
+double inverse_clamped_distance(double dx, double dy, double min_distance) {
+  return 1.0 / std::max(std::sqrt(dx * dx + dy * dy), min_distance);
+}
+
+// CDPF-NE invariant: the estimated contributions form a probability
+// distribution over the area nodes — each in [0, 1] and summing to one —
+// otherwise the weight assignment silently injects or removes mass.
+void assert_distribution([[maybe_unused]] const std::vector<double>& out) {
+  CDPF_ASSERT([&] {
+    support::NeumaierSum check;
+    for (const double c : out) {
+      if (!(std::isfinite(c) && c >= 0.0 && c <= 1.0)) {
+        return false;
+      }
+      check.add(c);
+    }
+    return std::abs(check.value() - 1.0) <= 1e-9;
+  }());
 }
 
 }  // namespace
@@ -43,36 +65,53 @@ void estimated_contributions(std::span<const geom::Vec2> positions,
   }
   support::NeumaierSum inv_sum;  // D = sum_j 1/d_j
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    out[i] = 1.0 / clamped_distance(positions[i], predicted_position, config);
+    out[i] = inverse_clamped_distance(positions[i].x - predicted_position.x,
+                                      positions[i].y - predicted_position.y,
+                                      config.min_distance_m);
     inv_sum.add(out[i]);
   }
   for (double& c : out) {
     c /= inv_sum.value();  // c_i = (1/d_i) / D
   }
-  // CDPF-NE invariant: the estimated contributions form a probability
-  // distribution over the area nodes — each in [0, 1] and summing to one —
-  // otherwise the weight assignment silently injects or removes mass.
-  CDPF_ASSERT([&] {
-    support::NeumaierSum check;
-    for (const double c : out) {
-      if (!(std::isfinite(c) && c >= 0.0 && c <= 1.0)) {
-        return false;
-      }
-      check.add(c);
-    }
-    return std::abs(check.value() - 1.0) <= 1e-9;
-  }());
+  assert_distribution(out);
+}
+
+void estimated_contributions(std::span<const double> xs, std::span<const double> ys,
+                             geom::Vec2 predicted_position,
+                             const NeighborhoodEstimationConfig& config,
+                             std::vector<double>& out) {
+  CDPF_CHECK_MSG(config.min_distance_m > 0.0, "min distance clamp must be positive");
+  CDPF_CHECK_MSG(xs.size() == ys.size(), "coordinate arrays must be parallel");
+  out.resize(xs.size());
+  if (xs.empty()) {
+    return;
+  }
+  support::NeumaierSum inv_sum;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out[i] = inverse_clamped_distance(xs[i] - predicted_position.x,
+                                      ys[i] - predicted_position.y,
+                                      config.min_distance_m);
+    inv_sum.add(out[i]);
+  }
+  for (double& c : out) {
+    c /= inv_sum.value();
+  }
+  assert_distribution(out);
 }
 
 double own_contribution(geom::Vec2 self, std::span<const geom::Vec2> others,
                         geom::Vec2 predicted_position,
                         const NeighborhoodEstimationConfig& config) {
   CDPF_CHECK_MSG(config.min_distance_m > 0.0, "min distance clamp must be positive");
-  const double own_inv = 1.0 / clamped_distance(self, predicted_position, config);
+  const double own_inv =
+      inverse_clamped_distance(self.x - predicted_position.x,
+                               self.y - predicted_position.y, config.min_distance_m);
   support::NeumaierSum inv_sum;
   inv_sum.add(own_inv);
   for (const geom::Vec2 other : others) {
-    inv_sum.add(1.0 / clamped_distance(other, predicted_position, config));
+    inv_sum.add(inverse_clamped_distance(other.x - predicted_position.x,
+                                         other.y - predicted_position.y,
+                                         config.min_distance_m));
   }
   const double contribution = own_inv / inv_sum.value();
   CDPF_ASSERT(std::isfinite(contribution) && contribution >= 0.0 &&

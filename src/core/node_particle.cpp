@@ -128,6 +128,29 @@ std::size_t ParticleStore::prune_below(double threshold) {
   return dropped;
 }
 
+std::size_t ParticleStore::normalize_and_prune(double total, double threshold) {
+  CDPF_CHECK_MSG(total > 0.0, "cannot normalize with a non-positive total weight");
+  CDPF_CHECK_MSG(std::isfinite(threshold) && threshold >= 0.0,
+                 "prune threshold must be finite and non-negative");
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    const double weight = particles_[i].weight / total;
+    if (weight < threshold) {
+      continue;
+    }
+    particles_[out] = particles_[i];
+    particles_[out].weight = weight;
+    ++out;
+  }
+  const std::size_t dropped = particles_.size() - out;
+  if (dropped > 0) {
+    particles_.resize(out);
+    rebuild_table();
+    ++host_version_;
+  }
+  return dropped;
+}
+
 tracking::TargetState ParticleStore::estimate(const wsn::Network& network) const {
   const double total = total_weight();
   CDPF_CHECK_MSG(total > 0.0, "estimate needs a positive total weight");

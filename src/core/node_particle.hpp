@@ -113,6 +113,14 @@ class ParticleStore {
   /// propagation). Returns the number of dropped particles.
   std::size_t prune_below(double threshold);
 
+  /// Fused normalize(total) + prune_below(threshold) in one pass over the
+  /// dense array: each weight is divided once and the survivor compaction
+  /// happens in the same traversal, halving the memory traffic of the
+  /// correction step. Same checks, same division, same stable survivor
+  /// order — the result is bitwise identical to calling the two steps.
+  /// Returns the number of dropped particles.
+  std::size_t normalize_and_prune(double total, double threshold);
+
   /// Weighted mean state over the hosted particles (positions taken from
   /// `network`). Requires a positive total weight.
   tracking::TargetState estimate(const wsn::Network& network) const;

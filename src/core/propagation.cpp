@@ -90,6 +90,9 @@ void propagate_particles_into(const ParticleStore& store, const wsn::Network& ne
   std::vector<wsn::NodeId>& recorders = scratch.recorders;
   std::vector<wsn::NodeId>& candidates = scratch.record_candidates;
   std::vector<double>& probabilities = scratch.probabilities;
+  std::vector<double>& rec_dx = scratch.rec_dx;
+  std::vector<double>& rec_dy = scratch.rec_dy;
+  std::vector<double>& rec_d2 = scratch.rec_d2;
 
   // Receivers only matter individually when the per-node overheard tables
   // are maintained (each receiver's aggregate is touched) or when believed
@@ -154,46 +157,101 @@ void propagate_particles_into(const ParticleStore& store, const wsn::Network& ne
     outcome.global.add(particle.weight, host_position, particle.velocity, speed);
 
     // Recorders: receivers inside the predicted area by the linear model.
+    // Every path below fills the same parallel arrays (recorder id, record
+    // probability, displacement-from-host) that the shared division loop
+    // consumes; the acceptance arithmetic — dx/dy/d2 differences, squared
+    // gates, probability(sqrt(d2)) — is identical across paths, so the
+    // scalar and batch gate routes produce bitwise-equal rounds.
     recorders.clear();
     probabilities.clear();
+    rec_dx.clear();
+    rec_dy.clear();
+    rec_d2.clear();
     double probability_sum = 0.0;
+    auto accept = [&](wsn::NodeId r, double p, double dxh, double dyh) {
+      recorders.push_back(r);
+      probabilities.push_back(p);
+      probability_sum += p;
+      rec_dx.push_back(dxh);
+      rec_dy.push_back(dyh);
+      rec_d2.push_back(dxh * dxh + dyh * dyh);
+    };
     if (use_receiver_list) {
       for (const wsn::NodeId r : receivers) {
         const geom::Vec2 receiver_position = network.position(r);
-        if (geom::distance_squared(receiver_position, predicted) > record_gate_sq) {
+        const double dxp = receiver_position.x - predicted.x;
+        const double dyp = receiver_position.y - predicted.y;
+        const double d2p = dxp * dxp + dyp * dyp;
+        if (d2p > record_gate_sq) {
           continue;
         }
-        const double p = lin_prob.probability(receiver_position, predicted);
+        const double p = lin_prob.probability(std::sqrt(d2p));
         if (p > config.min_record_probability && p > 0.0) {
-          recorders.push_back(r);
-          probabilities.push_back(p);
-          probability_sum += p;
+          accept(r, p, receiver_position.x - host_position.x,
+                 receiver_position.y - host_position.y);
         }
       }
-    } else {
-      // Direct record-disk scan. Grid visitation order is global (cell-major,
-      // then build order), so filtering the record-disk query by comm-range
-      // membership yields the SAME recorder sequence — hence the same rng
-      // consumption — as filtering the comm-disk receiver list by the record
-      // gate; the comm test below is the identical arithmetic the grid uses
-      // for receiver membership.
+    } else if (!config.use_batch_gates) {
+      // Scalar reference of the direct record-disk scan. Grid visitation
+      // order is global (cell-major, then build order), so filtering the
+      // record-disk query by comm-range membership yields the SAME recorder
+      // sequence — hence the same rng consumption — as filtering the
+      // comm-disk receiver list by the record gate; the comm test below is
+      // the identical arithmetic the grid uses for receiver membership.
       network.active_nodes_within(predicted, record_query_radius, candidates);
       for (const wsn::NodeId r : candidates) {
         if (r == host) {
           continue;  // a broadcaster never receives its own transmission
         }
         const geom::Vec2 receiver_position = network.position(r);
-        if (geom::distance_squared(receiver_position, host_position) > comm_radius_sq) {
+        const double dxh = receiver_position.x - host_position.x;
+        const double dyh = receiver_position.y - host_position.y;
+        if (dxh * dxh + dyh * dyh > comm_radius_sq) {
           continue;  // inside the record disk but out of the broadcast's reach
         }
-        if (geom::distance_squared(receiver_position, predicted) > record_gate_sq) {
+        const double dxp = receiver_position.x - predicted.x;
+        const double dyp = receiver_position.y - predicted.y;
+        const double d2p = dxp * dxp + dyp * dyp;
+        if (d2p > record_gate_sq) {
           continue;
         }
-        const double p = lin_prob.probability(receiver_position, predicted);
+        const double p = lin_prob.probability(std::sqrt(d2p));
         if (p > config.min_record_probability && p > 0.0) {
-          recorders.push_back(r);
-          probabilities.push_back(p);
-          probability_sum += p;
+          accept(r, p, dxh, dyh);
+        }
+      }
+    } else {
+      // Batch direct scan: candidates arrive as SoA coordinate arrays
+      // straight from the grid (true positions — valid here because
+      // use_receiver_list is false exactly when believed == true). Pass 1
+      // computes every displacement/distance contiguously and branch-free;
+      // pass 2 applies the gates in the same candidate order as the scalar
+      // loop above, on the very same values.
+      wsn::NodeSoa& soa = scratch.candidates_soa;
+      network.collect_active_within(predicted, record_query_radius, soa);
+      const std::size_t n = soa.size();
+      scratch.gate_dxh.resize(n);
+      scratch.gate_dyh.resize(n);
+      scratch.gate_d2h.resize(n);
+      scratch.gate_d2p.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const double dxh = soa.xs[k] - host_position.x;
+        const double dyh = soa.ys[k] - host_position.y;
+        const double dxp = soa.xs[k] - predicted.x;
+        const double dyp = soa.ys[k] - predicted.y;
+        scratch.gate_dxh[k] = dxh;
+        scratch.gate_dyh[k] = dyh;
+        scratch.gate_d2h[k] = dxh * dxh + dyh * dyh;
+        scratch.gate_d2p[k] = dxp * dxp + dyp * dyp;
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        if (soa.ids[k] == host || scratch.gate_d2h[k] > comm_radius_sq ||
+            scratch.gate_d2p[k] > record_gate_sq) {
+          continue;
+        }
+        const double p = lin_prob.probability(std::sqrt(scratch.gate_d2p[k]));
+        if (p > config.min_record_probability && p > 0.0) {
+          accept(soa.ids[k], p, scratch.gate_dxh[k], scratch.gate_dyh[k]);
         }
       }
     }
@@ -219,28 +277,28 @@ void propagate_particles_into(const ParticleStore& store, const wsn::Network& ne
           nearest = r;
         }
       }
-      recorders.push_back(nearest);
-      probabilities.push_back(1.0);
+      const geom::Vec2 hop = network.position(nearest) - host_position;
+      accept(nearest, 1.0, hop.x, hop.y);
       probability_sum = 1.0;
     }
 
     // Division rule (paper §III-B): total weight preserved; weight ratios
     // equal the linear-model probability ratios. Each recorded copy draws
-    // its own process-noise realization (prior as importance density).
+    // its own process-noise realization (prior as importance density); only
+    // the sampled VELOCITY is consumed (the recorder's position is the
+    // particle's new position), so the velocity-only sampling entry point
+    // applies — same RNG draws, no position integration.
 #ifndef NDEBUG
     support::NeumaierSum divided;
 #endif
     for (std::size_t i = 0; i < recorders.size(); ++i) {
       const double weight = particle.weight * probabilities[i] / probability_sum;
-      const tracking::TargetState sampled =
-          motion.sample({host_position, particle.velocity}, rng);
+      const tracking::SampledKinematics sampled =
+          motion.sample_velocity({host_position, particle.velocity}, rng);
       geom::Vec2 velocity = sampled.velocity;
-      if (config.velocity_from_displacement) {
-        const geom::Vec2 displacement =
-            network.position(recorders[i]) - host_position;
-        if (displacement.norm_squared() > 1e-12) {
-          velocity = displacement.normalized() * sampled.velocity.norm();
-        }
+      if (config.velocity_from_displacement && rec_d2[i] > 1e-12) {
+        const double scale = sampled.speed / std::sqrt(rec_d2[i]);
+        velocity = {rec_dx[i] * scale, rec_dy[i] * scale};
       }
 #ifndef NDEBUG
       divided.add(weight);

@@ -32,13 +32,13 @@ double checked_total(std::span<const double> weights) {
 }
 
 /// Walk the cumulative weights with `count` ordered pointers produced by
-/// `pointer(i)`; shared by the stratified and systematic schemes.
+/// `pointer(i)`; shared by the stratified and systematic schemes. The
+/// incremental compensated walk produces the same partial values as
+/// cumulative_weights(), so the two formulations select identical ancestors.
 template <typename PointerFn>
-std::vector<std::size_t> ordered_pointer_resample(std::span<const double> weights,
-                                                  std::size_t count, double total,
-                                                  PointerFn pointer) {
-  std::vector<std::size_t> indices;
-  indices.reserve(count);
+void ordered_pointer_resample(std::span<const double> weights, std::size_t count,
+                              double total, PointerFn pointer,
+                              std::vector<std::size_t>& indices) {
   support::NeumaierSum cumulative;
   cumulative.add(weights[0]);
   std::size_t j = 0;
@@ -50,92 +50,107 @@ std::vector<std::size_t> ordered_pointer_resample(std::span<const double> weight
     }
     indices.push_back(j);
   }
-  return indices;
+}
+
+/// Inverse-CDF draw against a cumulative array, clamped to the last index.
+std::size_t draw_index(const std::vector<double>& cumulative, double u) {
+  const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative.size()) - 1));
 }
 
 }  // namespace
 
+double cumulative_weights(std::span<const double> weights, std::vector<double>& out) {
+  CDPF_CHECK_MSG(!weights.empty(), "prefix sum needs at least one weight");
+  out.resize(weights.size());
+  support::NeumaierSum acc;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc.add(weights[i]);
+    out[i] = acc.value();
+  }
+  return acc.value();
+}
+
+// Thin wrapper: resample_indices_into validates every precondition.
+// cdpf-lint: allow(entry-check)
 std::vector<std::size_t> resample_indices(std::span<const double> weights,
                                           std::size_t count, ResamplingScheme scheme,
                                           rng::Rng& rng) {
+  std::vector<std::size_t> indices;
+  std::vector<double> scratch;
+  resample_indices_into(weights, count, scheme, rng, indices, scratch);
+  return indices;
+}
+
+void resample_indices_into(std::span<const double> weights, std::size_t count,
+                           ResamplingScheme scheme, rng::Rng& rng,
+                           std::vector<std::size_t>& indices,
+                           std::vector<double>& scratch) {
   const double total = checked_total(weights);
   CDPF_CHECK_MSG(count > 0, "resampling must produce at least one particle");
+  indices.clear();
+  indices.reserve(count);
 
   switch (scheme) {
     case ResamplingScheme::kMultinomial: {
       // Sorting the uniforms would allow a single cumulative pass; for the
       // particle counts used here (<= a few thousand) the direct inverse-CDF
       // per draw is simpler and fast enough.
-      std::vector<double> cumulative(weights.size());
-      support::NeumaierSum acc;
-      for (std::size_t i = 0; i < weights.size(); ++i) {
-        acc.add(weights[i]);
-        cumulative[i] = acc.value();
-      }
-      std::vector<std::size_t> indices;
-      indices.reserve(count);
+      cumulative_weights(weights, scratch);
       for (std::size_t i = 0; i < count; ++i) {
-        const double u = rng.uniform() * total;
-        const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
-        indices.push_back(static_cast<std::size_t>(
-            std::min<std::ptrdiff_t>(it - cumulative.begin(),
-                                     static_cast<std::ptrdiff_t>(weights.size()) - 1)));
+        indices.push_back(draw_index(scratch, rng.uniform() * total));
       }
-      return indices;
+      return;
     }
     case ResamplingScheme::kStratified: {
       const double n = static_cast<double>(count);
-      return ordered_pointer_resample(weights, count, total, [&](std::size_t i) {
-        return (static_cast<double>(i) + rng.uniform()) / n;
-      });
+      ordered_pointer_resample(
+          weights, count, total,
+          [&](std::size_t i) { return (static_cast<double>(i) + rng.uniform()) / n; },
+          indices);
+      return;
     }
     case ResamplingScheme::kSystematic: {
       const double n = static_cast<double>(count);
       const double u0 = rng.uniform();
-      return ordered_pointer_resample(weights, count, total, [&](std::size_t i) {
-        return (static_cast<double>(i) + u0) / n;
-      });
+      ordered_pointer_resample(
+          weights, count, total,
+          [&](std::size_t i) { return (static_cast<double>(i) + u0) / n; }, indices);
+      return;
     }
     case ResamplingScheme::kResidual: {
       const double n = static_cast<double>(count);
-      std::vector<std::size_t> indices;
-      indices.reserve(count);
-      std::vector<double> residuals(weights.size());
+      // scratch holds the residual of each expected offspring count first,
+      // then (in place) its prefix sum for the multinomial leftover draws.
+      scratch.resize(weights.size());
       std::size_t deterministic = 0;
       for (std::size_t i = 0; i < weights.size(); ++i) {
         const double expected = n * weights[i] / total;
         const auto copies = static_cast<std::size_t>(std::floor(expected));
         indices.insert(indices.end(), copies, i);
-        residuals[i] = expected - static_cast<double>(copies);
+        scratch[i] = expected - static_cast<double>(copies);
         deterministic += copies;
       }
       const std::size_t remaining = count - deterministic;
       if (remaining > 0) {
         // Multinomial over the residuals via inverse CDF + binary search
         // (O(m log n) instead of one O(n) categorical scan per draw).
-        std::vector<double> cumulative(residuals.size());
-        double acc = 0.0;
-        for (std::size_t i = 0; i < residuals.size(); ++i) {
-          acc += residuals[i];
-          cumulative[i] = acc;
-        }
-        if (acc <= 0.0) {
+        const double residual_total = cumulative_weights(scratch, scratch);
+        if (residual_total <= 0.0) {
           // Floating-point edge: the floors consumed all the mass yet the
           // counts do not add up. Give the leftovers to the heaviest index.
           const auto heaviest = static_cast<std::size_t>(
               std::max_element(weights.begin(), weights.end()) - weights.begin());
           indices.insert(indices.end(), remaining, heaviest);
-          return indices;
+          return;
         }
         for (std::size_t i = 0; i < remaining; ++i) {
-          const double u = rng.uniform() * acc;
-          const auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
-          indices.push_back(static_cast<std::size_t>(
-              std::min<std::ptrdiff_t>(it - cumulative.begin(),
-                                       static_cast<std::ptrdiff_t>(residuals.size()) - 1)));
+          indices.push_back(draw_index(scratch, rng.uniform() * residual_total));
         }
       }
-      return indices;
+      return;
     }
   }
   throw Error("unknown resampling scheme");

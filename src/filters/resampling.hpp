@@ -31,10 +31,27 @@ enum class ResamplingScheme : std::uint8_t {
 
 std::string_view resampling_scheme_name(ResamplingScheme scheme);
 
+/// Batch prefix sum of `weights` into `out` (resized to weights.size()):
+/// out[i] = sum of weights[0..i], each partial compensated (NeumaierSum) so
+/// the sequence matches an incremental compensated walk value for value.
+/// Returns the total (== out.back()). This is the normalize/resample
+/// prefix-sum pass of the batch compute plane, shared by the multinomial
+/// and residual schemes.
+double cumulative_weights(std::span<const double> weights, std::vector<double>& out);
+
 /// Draw `count` ancestor indices according to `scheme`.
 std::vector<std::size_t> resample_indices(std::span<const double> weights,
                                           std::size_t count, ResamplingScheme scheme,
                                           rng::Rng& rng);
+
+/// Reuse-friendly variant writing into `indices` (cleared first), with
+/// `scratch` holding the cumulative/residual staging; allocation-free once
+/// both have capacity for weights.size() (indices: count) — the form filter
+/// hot loops call every iteration.
+void resample_indices_into(std::span<const double> weights, std::size_t count,
+                           ResamplingScheme scheme, rng::Rng& rng,
+                           std::vector<std::size_t>& indices,
+                           std::vector<double>& scratch);
 
 /// In-place resampling of a particle set to `count` particles with equal
 /// weights summing to the original total (so un-normalized sets keep their

@@ -33,6 +33,12 @@ GridIndex::GridIndex(std::span<const Vec2> points, Aabb bounds, double cell_size
   for (std::size_t i = 0; i < points_.size(); ++i) {
     ids_[cursor[cell_of(points_[i])]++] = i;
   }
+  xs_.resize(points_.size());
+  ys_.resize(points_.size());
+  for (std::size_t k = 0; k < ids_.size(); ++k) {
+    xs_[k] = points_[ids_[k]].x;
+    ys_[k] = points_[ids_[k]].y;
+  }
 }
 
 std::size_t GridIndex::cell_of(Vec2 p) const {

@@ -38,7 +38,10 @@ class GridIndex {
   /// Visit ids within the disk without materializing a vector. Statically
   /// dispatched: this is the innermost loop of every neighbor/detection
   /// query, so the visitor must not hide behind a std::function indirection
-  /// (or allocate one) per call.
+  /// (or allocate one) per call. Boundary-cell membership tests read the
+  /// CSR-ordered coordinate copies (xs_/ys_) instead of gathering through
+  /// ids_ into the AoS point table — same arithmetic on the same values,
+  /// contiguous access.
   template <typename Visitor>
   void visit_disk(Vec2 center, double radius, Visitor&& visit) const {
     const double r2 = radius * radius;
@@ -51,9 +54,35 @@ class GridIndex {
         return;
       }
       for (std::size_t k = cell_start_[c]; k < k_end; ++k) {
-        const std::size_t id = ids_[k];
-        if (distance_squared(points_[id], center) <= r2) {
-          visit(id);
+        const double dx = xs_[k] - center.x;
+        const double dy = ys_[k] - center.y;
+        if (dx * dx + dy * dy <= r2) {
+          visit(ids_[k]);
+        }
+      }
+    });
+  }
+
+  /// Visit (id, x, y) triples within the disk — the SoA feed of the batch
+  /// compute plane: callers append into structure-of-arrays scratch without
+  /// ever touching the AoS point table. Visitation order, membership and
+  /// arithmetic are identical to visit_disk.
+  template <typename Visitor>
+  void visit_disk_soa(Vec2 center, double radius, Visitor&& visit) const {
+    const double r2 = radius * radius;
+    for_each_cell(center, radius, [&](std::size_t c, bool fully_inside) {
+      const std::size_t k_end = cell_start_[c + 1];
+      if (fully_inside) {
+        for (std::size_t k = cell_start_[c]; k < k_end; ++k) {
+          visit(ids_[k], xs_[k], ys_[k]);
+        }
+        return;
+      }
+      for (std::size_t k = cell_start_[c]; k < k_end; ++k) {
+        const double dx = xs_[k] - center.x;
+        const double dy = ys_[k] - center.y;
+        if (dx * dx + dy * dy <= r2) {
+          visit(ids_[k], xs_[k], ys_[k]);
         }
       }
     });
@@ -61,8 +90,9 @@ class GridIndex {
 
   /// Number of points within the disk, without visiting them: fully-inside
   /// cells contribute their occupancy straight from the CSR offsets, so only
-  /// boundary cells pay per-point distance checks. Counts exactly the ids
-  /// visit_disk would visit.
+  /// boundary cells pay per-point distance checks — and those run branch-free
+  /// over the contiguous coordinate arrays, which compilers vectorize. Counts
+  /// exactly the ids visit_disk would visit.
   std::size_t count_disk(Vec2 center, double radius) const {
     const double r2 = radius * radius;
     std::size_t count = 0;
@@ -73,7 +103,9 @@ class GridIndex {
         return;
       }
       for (std::size_t k = cell_start_[c]; k < k_end; ++k) {
-        count += distance_squared(points_[ids_[k]], center) <= r2 ? 1u : 0u;
+        const double dx = xs_[k] - center.x;
+        const double dy = ys_[k] - center.y;
+        count += dx * dx + dy * dy <= r2 ? 1u : 0u;
       }
     });
     return count;
@@ -141,9 +173,14 @@ class GridIndex {
   std::size_t nx_ = 0;
   std::size_t ny_ = 0;
   // CSR-style bucket layout: ids_ holds point ids grouped by cell;
-  // cell_start_[c] .. cell_start_[c+1] delimits cell c.
+  // cell_start_[c] .. cell_start_[c+1] delimits cell c. xs_/ys_ mirror ids_
+  // with the point coordinates in the same slot order, so boundary-cell
+  // distance tests stream two contiguous double arrays instead of gathering
+  // Vec2s through the id indirection.
   std::vector<std::size_t> cell_start_;
   std::vector<std::size_t> ids_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
 };
 
 }  // namespace cdpf::geom

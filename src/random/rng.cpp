@@ -6,16 +6,6 @@
 
 namespace cdpf::rng {
 
-double Rng::uniform() {
-  // Take the top 53 bits for a dyadic rational in [0, 1).
-  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  CDPF_CHECK_MSG(lo <= hi, "uniform(lo, hi) requires lo <= hi");
-  return lo + (hi - lo) * uniform();
-}
-
 std::uint64_t Rng::uniform_index(std::uint64_t n) {
   CDPF_CHECK_MSG(n > 0, "uniform_index(n) requires n > 0");
   // Rejection sampling over the largest multiple of n below 2^64.
@@ -31,34 +21,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   CDPF_CHECK_MSG(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   return lo + static_cast<std::int64_t>(uniform_index(span));
-}
-
-double Rng::gaussian() {
-  if (has_cached_gaussian_) {
-    has_cached_gaussian_ = false;
-    return cached_gaussian_;
-  }
-  // Marsaglia polar method: yields two independent normals per acceptance.
-  double u, v, s;
-  do {
-    u = uniform(-1.0, 1.0);
-    v = uniform(-1.0, 1.0);
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double factor = std::sqrt(-2.0 * std::log(s) / s);
-  cached_gaussian_ = v * factor;
-  has_cached_gaussian_ = true;
-  return u * factor;
-}
-
-double Rng::gaussian(double mean, double sigma) {
-  CDPF_CHECK_MSG(sigma >= 0.0, "gaussian sigma must be non-negative");
-  return mean + sigma * gaussian();
-}
-
-bool Rng::bernoulli(double p) {
-  CDPF_CHECK_MSG(p >= 0.0 && p <= 1.0, "bernoulli p must be within [0, 1]");
-  return uniform() < p;
 }
 
 std::size_t Rng::categorical(const std::vector<double>& weights) {

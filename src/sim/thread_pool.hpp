@@ -1,60 +1,12 @@
-// Minimal RAII worker pool for Monte-Carlo trial parallelism.
-//
-// Per the C++ Core Guidelines concurrency rules the pool owns its threads
-// for its whole lifetime (joined in the destructor, never detached), tasks
-// communicate only through the returned futures, and callers share no
-// mutable state between tasks — each trial derives its own RNG stream, so
-// results are independent of the worker count and of scheduling order.
+// Forwarding header: the thread pool moved to support/ so the core filter
+// kernels can shard work across it without linking the simulation layer.
+// Existing sim-layer callers keep compiling against cdpf::sim::ThreadPool.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <future>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "support/thread_pool.hpp"
 
 namespace cdpf::sim {
 
-class ThreadPool {
- public:
-  /// `workers` = 0 selects std::thread::hardware_concurrency() (min 1).
-  explicit ThreadPool(std::size_t workers = 0);
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  std::size_t worker_count() const { return threads_.size(); }
-
-  /// Enqueue a task; the future resolves with its result (or exception).
-  template <typename F>
-  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
-    using Result = std::invoke_result_t<F>;
-    auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
-    std::future<Result> future = packaged->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      queue_.emplace_back([packaged]() { (*packaged)(); });
-    }
-    cv_.notify_one();
-    return future;
-  }
-
-  /// Run `fn(i)` for i in [0, count) across the pool and wait for all.
-  /// Exceptions from tasks are rethrown (the first one encountered).
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
-
- private:
-  void worker_loop();
-
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> threads_;
-};
+using support::ThreadPool;
 
 }  // namespace cdpf::sim

@@ -1,0 +1,91 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace cdpf::support {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  // A few blocks per worker: enough granularity for load balancing when the
+  // per-index cost is uneven, while the queue/future overhead stays O(workers)
+  // instead of O(count). Correctness never depends on the block shape — every
+  // index runs exactly once, and callers that need worker-count-independent
+  // results write disjoint per-index slots.
+  const std::size_t workers = std::max<std::size_t>(1, threads_.size());
+  const std::size_t blocks = std::min(count, workers * 4);
+  const std::size_t base = count / blocks;
+  const std::size_t extra = count % blocks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks);
+  std::size_t begin = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t end = begin + base + (b < extra ? 1 : 0);
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+    }));
+    begin = end;
+  }
+  // Drain EVERY block before rethrowing: bailing on the first failed get()
+  // would return control (and destroy `fn`'s referents) while later blocks
+  // are still executing — a use-after-return race on the caller's stack.
+  // Futures are visited in block order, so the earliest failing block's
+  // exception is the one the caller sees.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace cdpf::support

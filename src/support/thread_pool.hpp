@@ -1,0 +1,70 @@
+// Minimal RAII worker pool for deterministic data parallelism.
+//
+// Lives in support (the bottom layer) so both the simulation driver's
+// Monte-Carlo trial parallelism and the core filter kernels' intra-iteration
+// sharding can use it without layering violations. Per the C++ Core
+// Guidelines concurrency rules the pool owns its threads for its whole
+// lifetime (joined in the destructor, never detached), tasks communicate
+// only through the returned futures, and callers share no mutable state
+// between tasks — each trial derives its own RNG stream and each kernel
+// shard writes pre-sized disjoint output slots, so results are independent
+// of the worker count and of scheduling order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdpf::support {
+
+class ThreadPool {
+ public:
+  /// `workers` = 0 selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(std::forward<F>(task));
+    std::future<Result> future = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([packaged]() { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run `fn(i)` for i in [0, count) across the pool and wait for all.
+  /// Indices are dispatched as contiguous block-range tasks (a handful per
+  /// worker) rather than one queue entry per index, so the per-index cost is
+  /// a direct call instead of a mutex round-trip — the difference between
+  /// usable and useless for the filter kernels' ~10 microsecond shards.
+  /// Exceptions from tasks are rethrown (the first one encountered, in block
+  /// order); the remaining indices of a throwing block are skipped, other
+  /// blocks still run.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cdpf::support

@@ -18,6 +18,15 @@
 
 namespace cdpf::tracking {
 
+/// What CDPF's division loop actually needs from a proposal draw: the new
+/// velocity and its magnitude. Returning both lets models that compute the
+/// speed anyway (random-turn) hand it over instead of the caller re-deriving
+/// it with a hypot.
+struct SampledKinematics {
+  geom::Vec2 velocity;
+  double speed = 0.0;
+};
+
 /// Abstract dynamic model: every filter's prediction step samples from one
 /// of these (the prior as importance density, per the paper's SIR choice).
 class MotionModel {
@@ -32,6 +41,19 @@ class MotionModel {
 
   /// Stochastic propagation: one draw from p(x_k | x_{k-1}).
   virtual TargetState sample(const TargetState& state, rng::Rng& rng) const = 0;
+
+  /// Velocity-only stochastic propagation: consumes EXACTLY the same RNG
+  /// draws as sample() and returns the same next.velocity (bitwise), plus
+  /// its norm — but may skip the position integration. CDPF's particle
+  /// division discards sample()'s position (recorder geometry decides where
+  /// the particle lands), so this shaves the per-substep trigonometry off
+  /// the hottest call in the filter. Overrides must preserve the RNG-stream
+  /// and bitwise-velocity contract or scalar/batch equivalence breaks.
+  virtual SampledKinematics sample_velocity(const TargetState& state,
+                                            rng::Rng& rng) const {
+    const geom::Vec2 v = sample(state, rng).velocity;
+    return {v, v.norm()};
+  }
 };
 
 class ConstantVelocityModel final : public MotionModel {
@@ -94,6 +116,12 @@ class RandomTurnMotionModel final : public MotionModel {
 
   TargetState propagate(const TargetState& state) const override;
   TargetState sample(const TargetState& state, rng::Rng& rng) const override;
+
+  /// Same heading/speed random walk and RNG draws as sample(), but only the
+  /// final substep's velocity is materialized (one sincos instead of one per
+  /// substep, and no position integration).
+  SampledKinematics sample_velocity(const TargetState& state,
+                                    rng::Rng& rng) const override;
 
  private:
   double dt_;

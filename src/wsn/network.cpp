@@ -20,6 +20,8 @@ Network::Network(std::vector<geom::Vec2> positions, NetworkConfig config)
     nodes_.push_back(Node{static_cast<NodeId>(i), positions[i]});
   }
   active_.assign(nodes_.size(), 1);
+  comm_count_.assign(nodes_.size(), 0);
+  comm_count_epoch_.assign(nodes_.size(), 0);
 
   // Cell size near the sensing radius keeps both detection queries (r_s) and
   // radio queries (r_c, a few cells) efficient.
@@ -56,6 +58,7 @@ void Network::refresh_active(NodeId id) {
     } else {
       ++inactive_count_;
     }
+    ++activity_epoch_;
   }
 }
 
@@ -78,6 +81,7 @@ void Network::reset_runtime_state() {
   }
   std::fill(active_.begin(), active_.end(), std::uint8_t{1});
   inactive_count_ = 0;
+  ++activity_epoch_;
 }
 
 std::size_t Network::nodes_within(geom::Vec2 center, double radius,
@@ -111,6 +115,31 @@ std::size_t Network::active_nodes_within(geom::Vec2 center, double radius,
   return out.size();
 }
 
+std::size_t Network::collect_active_within(geom::Vec2 center, double radius,
+                                           NodeSoa& out) const {
+  CDPF_CHECK_MSG(believed_positions_.empty(),
+                 "SoA collection serves batch kernels that read true positions; "
+                 "use active_nodes_within + position() under believed positions");
+  out.clear();
+  if (inactive_count_ == 0) {
+    index_->visit_disk_soa(center, radius, [&out](std::size_t id, double x, double y) {
+      out.ids.push_back(static_cast<NodeId>(id));
+      out.xs.push_back(x);
+      out.ys.push_back(y);
+    });
+  } else {
+    index_->visit_disk_soa(center, radius,
+                           [this, &out](std::size_t id, double x, double y) {
+                             if (active_[id] != 0) {
+                               out.ids.push_back(static_cast<NodeId>(id));
+                               out.xs.push_back(x);
+                               out.ys.push_back(y);
+                             }
+                           });
+  }
+  return out.size();
+}
+
 std::size_t Network::count_active_within(geom::Vec2 center, double radius) const {
   if (inactive_count_ == 0) {
     return index_->count_disk(center, radius);
@@ -118,6 +147,18 @@ std::size_t Network::count_active_within(geom::Vec2 center, double radius) const
   std::size_t count = 0;
   index_->visit_disk(center, radius,
                      [this, &count](std::size_t id) { count += active_[id]; });
+  return count;
+}
+
+std::size_t Network::active_comm_disk_count(NodeId id) const {
+  CDPF_CHECK_MSG(id < nodes_.size(), "node id out of range");
+  if (comm_count_epoch_[id] == activity_epoch_) {
+    return comm_count_[id];
+  }
+  const std::size_t count =
+      count_active_within(nodes_[id].position, config_.comm_radius);
+  comm_count_[id] = count;
+  comm_count_epoch_[id] = activity_epoch_;
   return count;
 }
 

@@ -21,6 +21,28 @@
 
 namespace cdpf::wsn {
 
+/// Structure-of-arrays view of a set of nodes: parallel id/x/y arrays filled
+/// by spatial queries so batch kernels can stream coordinates contiguously.
+/// Coordinates are TRUE (physical) positions — callers that must honor
+/// believed positions (Network::position) cannot use the SoA path.
+struct NodeSoa {
+  std::vector<NodeId> ids;
+  std::vector<double> xs;
+  std::vector<double> ys;
+
+  std::size_t size() const { return ids.size(); }
+  void clear() {
+    ids.clear();
+    xs.clear();
+    ys.clear();
+  }
+  void reserve(std::size_t n) {
+    ids.reserve(n);
+    xs.reserve(n);
+    ys.reserve(n);
+  }
+};
+
 struct NetworkConfig {
   geom::Aabb field = geom::Aabb::square(200.0);  // paper: 200 m x 200 m
   double sensing_radius = 10.0;                  // paper: 10 m
@@ -88,10 +110,26 @@ class Network {
   std::size_t active_nodes_within(geom::Vec2 center, double radius,
                                   std::vector<NodeId>& out) const;
 
+  /// Ids *and true coordinates* of active nodes within `radius` of `center`,
+  /// appended into SoA scratch (cleared first). Same nodes in the same order
+  /// as active_nodes_within; coordinates come straight from the grid's
+  /// CSR-ordered arrays, so no per-node gather through the Node table.
+  /// Only valid when believed == true positions (checked).
+  std::size_t collect_active_within(geom::Vec2 center, double radius,
+                                    NodeSoa& out) const;
+
   /// Number of active nodes within `radius` of `center`, without
   /// materializing the id list. With all nodes active this is a pure
   /// grid-occupancy count (no per-node memory traffic at all).
   std::size_t count_active_within(geom::Vec2 center, double radius) const;
+
+  /// Number of active nodes (including `id` itself when active) within the
+  /// communication radius of `id`'s *true* position. Memoized per node and
+  /// invalidated whenever any node's activity changes, so per-message radio
+  /// accounting does not pay a grid walk per broadcast. Callers that operate
+  /// on believed positions must not use this (believed displacement moves
+  /// the query center); Radio gates on has_believed_positions() first.
+  std::size_t active_comm_disk_count(NodeId id) const;
 
   /// Active nodes whose sensing disk contains `target` — the detecting set
   /// under the instant-detection model.
@@ -118,6 +156,14 @@ class Network {
   // queries skip the filter altogether.
   std::vector<std::uint8_t> active_;
   std::size_t inactive_count_ = 0;
+  // Per-node comm-disk receiver-count memo, keyed by the activity epoch. The
+  // epoch bumps on every activity transition (set_alive / set_power /
+  // reset_runtime_state), so a stale entry can never be served. Mutable:
+  // logically the cache of a const query. Not thread-safe — radio accounting
+  // runs on the simulation thread only.
+  std::uint64_t activity_epoch_ = 1;
+  mutable std::vector<std::size_t> comm_count_;
+  mutable std::vector<std::uint64_t> comm_count_epoch_;
 };
 
 }  // namespace cdpf::wsn

@@ -49,11 +49,10 @@ std::size_t Radio::broadcast_count(NodeId from, MessageKind kind,
   }
   CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
   // The sender is active and at distance zero from its own (true) position,
-  // so the disk count always includes it; receivers exclude it.
-  const std::size_t receivers =
-      network_.count_active_within(network_.position(from),
-                                   network_.config().comm_radius) -
-      1;
+  // so the disk count always includes it; receivers exclude it. The memoized
+  // count is keyed on the true position, which the believed-positions guard
+  // above makes equal to position(from).
+  const std::size_t receivers = network_.active_comm_disk_count(from) - 1;
   stats_.record(kind, payload_bytes, receivers);
   return receivers;
 }

@@ -1,0 +1,151 @@
+// Scalar-vs-batch equivalence property test for the SoA batch compute
+// plane (see DESIGN.md): on the paper's scenario, the batch kernels
+// (CdpfConfig::use_batch_kernels = true) must produce BITWISE-identical
+// particle weights, particle velocities, and estimates to the scalar
+// reference path, and the sharded likelihood stage must be bitwise-stable
+// across thread-pool worker counts. Every comparison below is EXPECT_EQ on
+// raw doubles — no tolerances.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cdpf.hpp"
+#include "random/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "support/thread_pool.hpp"
+#include "tracking/trajectory.hpp"
+#include "wsn/radio.hpp"
+
+namespace cdpf::core {
+namespace {
+
+struct ParticleSnapshot {
+  wsn::NodeId host = wsn::kInvalidNodeId;
+  double vx = 0.0;
+  double vy = 0.0;
+  double weight = 0.0;
+};
+
+struct RunCapture {
+  std::vector<ParticleSnapshot> particles;  // final store, sorted by host
+  std::vector<core::TimedEstimate> estimates;
+  std::size_t iterations = 0;
+};
+
+/// One full tracking run of CDPF (or CDPF-NE) on the paper scenario at the
+/// given density. `workers` == 0 runs the serial in-thread path; > 0
+/// attaches a pool of that size for the sharded likelihood stage.
+RunCapture run_once(double density, std::uint64_t seed, bool neighborhood,
+                    bool batch, std::size_t workers) {
+  sim::Scenario scenario;
+  scenario.density_per_100m2 = density;
+
+  rng::Rng rng(rng::derive_stream_seed(seed, 0));
+  wsn::Network network = sim::build_network(scenario, rng);
+  wsn::Radio radio(network, scenario.payloads);
+  const tracking::Trajectory trajectory =
+      tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+
+  CdpfConfig config;
+  config.use_batch_kernels = batch;
+  config.use_neighborhood_estimation = neighborhood;
+  Cdpf tracker(network, radio, config);
+
+  std::unique_ptr<support::ThreadPool> pool;
+  if (workers > 0) {
+    pool = std::make_unique<support::ThreadPool>(workers);
+    tracker.set_thread_pool(pool.get());
+  }
+
+  const sim::RunOutcome outcome = sim::run_tracking(tracker, trajectory, rng);
+
+  RunCapture capture;
+  capture.iterations = outcome.iterations;
+  for (const sim::ScoredEstimate& s : outcome.scored) {
+    capture.estimates.push_back(s.estimate);
+  }
+  const ParticleStore& store = tracker.particles();
+  for (const wsn::NodeId host : store.sorted_hosts()) {
+    const NodeParticle* p = store.find(host);
+    EXPECT_NE(p, nullptr) << "sorted host without particle";
+    if (p != nullptr) {
+      capture.particles.push_back({host, p->velocity.x, p->velocity.y, p->weight});
+    }
+  }
+  return capture;
+}
+
+/// Bitwise comparison of two captures; `label` names the variant pair.
+void expect_identical(const RunCapture& a, const RunCapture& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.iterations, b.iterations) << label;
+  ASSERT_EQ(a.estimates.size(), b.estimates.size()) << label;
+  for (std::size_t i = 0; i < a.estimates.size(); ++i) {
+    EXPECT_EQ(a.estimates[i].time, b.estimates[i].time) << label << " #" << i;
+    EXPECT_EQ(a.estimates[i].state.position.x, b.estimates[i].state.position.x)
+        << label << " #" << i;
+    EXPECT_EQ(a.estimates[i].state.position.y, b.estimates[i].state.position.y)
+        << label << " #" << i;
+    EXPECT_EQ(a.estimates[i].state.velocity.x, b.estimates[i].state.velocity.x)
+        << label << " #" << i;
+    EXPECT_EQ(a.estimates[i].state.velocity.y, b.estimates[i].state.velocity.y)
+        << label << " #" << i;
+  }
+  ASSERT_EQ(a.particles.size(), b.particles.size()) << label;
+  for (std::size_t i = 0; i < a.particles.size(); ++i) {
+    EXPECT_EQ(a.particles[i].host, b.particles[i].host) << label << " #" << i;
+    EXPECT_EQ(a.particles[i].vx, b.particles[i].vx) << label << " #" << i;
+    EXPECT_EQ(a.particles[i].vy, b.particles[i].vy) << label << " #" << i;
+    EXPECT_EQ(a.particles[i].weight, b.particles[i].weight) << label << " #" << i;
+  }
+}
+
+class BatchEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(BatchEquivalence, CdpfScalarAndBatchAreBitwiseIdenticalAcrossWorkers) {
+  const double density = GetParam();
+  constexpr std::uint64_t kSeed = 20110516;
+  const RunCapture scalar = run_once(density, kSeed, false, false, 0);
+  ASSERT_FALSE(scalar.estimates.empty());
+  ASSERT_FALSE(scalar.particles.empty());
+  expect_identical(scalar, run_once(density, kSeed, false, true, 0),
+                   "scalar vs batch(serial)");
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{9}}) {
+    expect_identical(scalar, run_once(density, kSeed, false, true, workers),
+                     "scalar vs batch(" + std::to_string(workers) + " workers)");
+  }
+}
+
+TEST_P(BatchEquivalence, CdpfNeScalarAndBatchAreBitwiseIdentical) {
+  const double density = GetParam();
+  constexpr std::uint64_t kSeed = 20110516;
+  const RunCapture scalar = run_once(density, kSeed, true, false, 0);
+  ASSERT_FALSE(scalar.estimates.empty());
+  // CDPF-NE's hot loops are RNG-free only in the neighborhood-contribution
+  // stage; the worker sweep still must not perturb anything.
+  expect_identical(scalar, run_once(density, kSeed, true, true, 0),
+                   "NE scalar vs batch(serial)");
+  expect_identical(scalar, run_once(density, kSeed, true, true, 4),
+                   "NE scalar vs batch(4 workers)");
+}
+
+TEST_P(BatchEquivalence, SecondSeedAlsoMatches) {
+  const double density = GetParam();
+  constexpr std::uint64_t kSeed = 424242;
+  const RunCapture scalar = run_once(density, kSeed, false, false, 0);
+  expect_identical(scalar, run_once(density, kSeed, false, true, 4),
+                   "seed2 scalar vs batch(4 workers)");
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, BatchEquivalence,
+                         ::testing::Values(10.0, 20.0, 40.0),
+                         [](const ::testing::TestParamInfo<double>& param_info) {
+                           return "density" +
+                                  std::to_string(static_cast<int>(param_info.param));
+                         });
+
+}  // namespace
+}  // namespace cdpf::core

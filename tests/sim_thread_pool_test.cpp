@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <stdexcept>
 #include <thread>
@@ -88,6 +89,116 @@ TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
   });
   for (std::size_t i = 0; i < kCount; ++i) {
     EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkedParallelForCoversLargeRangesExactlyOnce) {
+  // count >> workers*4 forces multi-index blocks (the chunked dispatch
+  // path): every index must still run exactly once, with no overlap or gap
+  // at any block seam.
+  ThreadPool pool(3);
+  constexpr std::size_t kCount = 10'007;  // prime: never divides evenly
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ChunkedParallelForBlocksAreContiguousPerThread) {
+  // Each block is one queue task executed by one worker, walking its range
+  // in ascending order. Record the thread id per index and check every
+  // maximal same-thread run is an ascending contiguous index range.
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 4096;
+  std::vector<std::thread::id> owner(kCount);
+  std::atomic<std::uint32_t> order_counter{0};
+  std::vector<std::uint32_t> order(kCount);
+  pool.parallel_for(kCount, [&](std::size_t i) {
+    owner[i] = std::this_thread::get_id();
+    order[i] = order_counter.fetch_add(1, std::memory_order_relaxed);
+  });
+  // Within a block (contiguous indices on one thread) execution order is the
+  // index order: the global ticket of i+1 exceeds that of i.
+  for (std::size_t i = 0; i + 1 < kCount; ++i) {
+    if (owner[i] == owner[i + 1]) {
+      EXPECT_LT(order[i], order[i + 1]) << "indices " << i << " and " << i + 1;
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForCountSmallerThanWorkersStillRunsAll) {
+  // Fewer indices than workers: blocks = count, one index per block.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ChunkedParallelForPropagatesExceptionFromMidBlock) {
+  // A throw from the middle of a multi-index block must surface to the
+  // caller, skip the rest of that block, and leave other blocks unharmed
+  // (their indices all run).
+  ThreadPool pool(2);
+  constexpr std::size_t kCount = 1000;  // blocks of ~125 at 2 workers
+  std::vector<std::atomic<int>> hits(kCount);
+  constexpr std::size_t kThrowAt = 300;
+  try {
+    pool.parallel_for(kCount, [&hits](std::size_t i) {
+      if (i == kThrowAt) {
+        throw std::runtime_error("mid-block boom");
+      }
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected the block's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "mid-block boom");
+  }
+  // Indices after the throw inside the same block are skipped...
+  EXPECT_EQ(hits[kThrowAt + 1].load(), 0);
+  // ...but every index of the first block (which precedes the throwing
+  // block) and of the final block still ran exactly once.
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[kCount - 1].load(), 1);
+  // No index ever runs twice.
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_LE(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsEarliestBlockExceptionInBlockOrder) {
+  // Two failing blocks: futures are drained in block order, so the caller
+  // always sees the exception of the earliest failing block regardless of
+  // which worker finished first.
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 64;  // 16 blocks of 4 at 4 workers
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    try {
+      pool.parallel_for(kCount, [](std::size_t i) {
+        if (i == 5) {
+          throw std::runtime_error("early block");
+        }
+        if (i == 60) {
+          throw std::runtime_error("late block");
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "early block");
+    }
   }
 }
 

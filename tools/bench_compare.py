@@ -12,11 +12,22 @@ seconds-per-iteration before comparing:
 Usage:
   tools/bench_compare.py BASELINE.json CURRENT.json
   tools/bench_compare.py BASELINE.json CURRENT.json --merge BENCH_cdpf.json
+  tools/bench_compare.py BENCH_cdpf.json run1.json,run2.json,run3.json
+
+Either side may be a comma-separated list of reports; each benchmark takes
+the MINIMUM seconds-per-iteration across that side's files — on a noisy
+host the minimum is the least contamination-prone estimator, and passing
+three runs per side is the recommended recording protocol (EXPERIMENTS.md).
 
 ``--merge`` writes CURRENT back out as a cdpf-bench/1 document with
 ``baseline_seconds_per_iteration`` and ``speedup`` attached to every
 benchmark present in both reports — the committed, machine-readable record
 of a performance change.
+
+``--warn-over PCT`` prints a GitHub Actions ``::warning::`` annotation for
+every shared benchmark slower than the baseline by more than PCT percent.
+The exit status stays 0 — perf telemetry is informational, never gating
+(shared-runner noise routinely exceeds any usable threshold).
 """
 
 from __future__ import annotations
@@ -66,21 +77,43 @@ def format_seconds(seconds):
     return f"{seconds * 1e9:.1f} ns"
 
 
+def load_side(spec):
+    """Load one side of the comparison: a path or a comma-separated list of
+    paths. Returns (first document, {name: min seconds-per-iteration})."""
+    paths = [p for p in spec.split(",") if p]
+    docs = [load_report(p) for p in paths]
+    times = {}
+    for doc, path in zip(docs, paths):
+        for name, seconds in seconds_per_iteration(doc, path).items():
+            if name not in times or seconds < times[name]:
+                times[name] = seconds
+    return docs[0], times
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", help="baseline report (either flavor)")
-    parser.add_argument("current", help="current report (either flavor)")
+    parser.add_argument(
+        "baseline", help="baseline report(s), comma-separated (either flavor)"
+    )
+    parser.add_argument(
+        "current", help="current report(s), comma-separated (either flavor)"
+    )
     parser.add_argument(
         "--merge",
         metavar="OUT",
         help="write CURRENT as cdpf-bench/1 with baseline + speedup merged in",
     )
+    parser.add_argument(
+        "--warn-over",
+        metavar="PCT",
+        type=float,
+        help="emit a ::warning:: annotation per benchmark slower than the "
+        "baseline by more than PCT percent (exit status stays 0)",
+    )
     args = parser.parse_args(argv)
 
-    baseline_doc = load_report(args.baseline)
-    current_doc = load_report(args.current)
-    baseline = seconds_per_iteration(baseline_doc, args.baseline)
-    current = seconds_per_iteration(current_doc, args.current)
+    baseline_doc, baseline = load_side(args.baseline)
+    current_doc, current = load_side(args.current)
 
     shared = [name for name in current if name in baseline]
     if not shared:
@@ -100,6 +133,20 @@ def main(argv):
         print(f"{name}: only in baseline", file=sys.stderr)
     for name in only_current:
         print(f"{name}: only in current", file=sys.stderr)
+
+    if args.warn_over is not None:
+        for name in shared:
+            if baseline[name] <= 0 or current[name] <= 0:
+                continue
+            slowdown_pct = (current[name] / baseline[name] - 1.0) * 100.0
+            if slowdown_pct > args.warn_over:
+                print(
+                    f"::warning title=perf regression::{name} is "
+                    f"{slowdown_pct:.1f}% slower than the committed baseline "
+                    f"({format_seconds(baseline[name])} -> "
+                    f"{format_seconds(current[name])}); noise or regression? "
+                    "compare locally with tools/bench_compare.py"
+                )
 
     if args.merge:
         merged = {

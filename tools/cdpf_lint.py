@@ -237,7 +237,18 @@ def main() -> int:
         lines = path.read_text().splitlines()
         findings += lint_example_includes(path.relative_to(root), lines)
 
-    for path in sorted((root / "src" / "core").glob("*.cpp")):
+    # Entry-check scope: every core translation unit, plus the batch-compute-
+    # plane kernels that live outside core/*.cpp — the inline SoA kernel
+    # header and the two hot-path units (prefix-sum resampling, thread pool)
+    # it shards work through. These carry the same NaN-poisoning risk as the
+    # core entry points, so they get the same precondition lint.
+    entry_check_scope = sorted((root / "src" / "core").glob("*.cpp"))
+    entry_check_scope += sorted((root / "src" / "core").glob("batch_kernels*.hpp"))
+    entry_check_scope += [
+        root / "src" / "filters" / "resampling.cpp",
+        root / "src" / "support" / "thread_pool.cpp",
+    ]
+    for path in entry_check_scope:
         lines = path.read_text().splitlines()
         findings += lint_entry_check(path.relative_to(root), lines)
 
