@@ -1,11 +1,12 @@
 // Shared helpers for the figure/table reproduction benches: standard flags
-// (--trials, --seed, --densities, --workers, --csv, --json) and the
-// density-sweep runner.
+// (--trials, --seed, --densities, --workers, --csv, --json, --trace,
+// --metrics) and the density-sweep runner.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -13,6 +14,7 @@
 
 #include "bench_report.hpp"
 #include "sim/experiment.hpp"
+#include "sim/observability.hpp"
 #include "support/cli.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -31,6 +33,10 @@ struct BenchOptions {
   std::optional<std::string> csv_path;
   /// When set, emit() appends a cdpf-bench/1 JSON report of the whole run.
   std::optional<std::string> json_path;
+  /// Observability session honouring --trace / --metrics: constructed at
+  /// parse time, writes the requested files when the options go out of
+  /// scope at the end of the run. Null when neither flag was given.
+  std::shared_ptr<sim::ObservabilityScope> observability;
   support::Stopwatch wall;  // started at parse time = whole-run wall clock
 };
 
@@ -61,6 +67,12 @@ inline BenchOptions parse_common(support::CliArgs& args,
   }
   options.csv_path = args.get_string("csv");
   options.json_path = args.get_string("json");
+  const std::string trace_path = args.get_string("trace").value_or("");
+  const std::string metrics_path = args.get_string("metrics").value_or("");
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    options.observability =
+        std::make_shared<sim::ObservabilityScope>(trace_path, metrics_path);
+  }
   options.wall.reset();
   return options;
 }

@@ -26,6 +26,7 @@ struct MeasuredIteration {
   std::size_t bytes = 0;
   std::size_t messages = 0;
   std::size_t particles = 0;  // N or N_s of the paper's expressions
+  wsn::CommStats comm;        // the whole run's accounting, for --metrics
 };
 
 /// Run algorithm `kind` for two iterations and return the second (steady
@@ -58,6 +59,7 @@ MeasuredIteration measure(sim::AlgorithmKind kind, const sim::Scenario& scenario
   tracker->iterate(t1, dt, rng);
   m.bytes = radio.stats().total_bytes() - bytes0;
   m.messages = radio.stats().total_messages() - msgs0;
+  m.comm = radio.stats();
   return m;
 }
 
@@ -108,6 +110,12 @@ int main(int argc, char** argv) {
     const auto measured = bench::run_slots_ordered<MeasuredIteration>(
         5, options.workers,
         [&](std::size_t i) { return measure(kinds[i], scenario, options.seed); });
+    // This bench drives trackers directly (no run_tracking), so fold the
+    // accounting into the metrics registry here, in slot order: the
+    // --metrics snapshot is bitwise identical for any --workers value.
+    for (const MeasuredIteration& m : measured) {
+      sim::observe_comm(m.comm);
+    }
     const auto& cpf = measured[0];
     const auto& dpf = measured[1];
     const auto& sdpf = measured[2];

@@ -4,10 +4,12 @@
 // user-facing API.
 //
 //   ./quickstart [--density=20] [--trials=3] [--seed=42]
+//                [--trace=out.json] [--metrics=out.json]
 #include <cstdlib>
 #include <iostream>
 
 #include "sim/experiment.hpp"
+#include "sim/observability.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -18,6 +20,12 @@ int main(int argc, char** argv) {
     const double density = args.get_double("density").value_or(20.0);
     const auto trials = static_cast<std::size_t>(args.get_int("trials").value_or(3));
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+    // --trace records a Chrome-trace timeline of the run (open it in
+    // Perfetto); --metrics writes the unified counter snapshot. See
+    // docs/observability.md.
+    const sim::ObservabilityScope observability(
+        args.get_string("trace").value_or(""),
+        args.get_string("metrics").value_or(""));
     args.check_unknown();
 
     // 1. Describe the scenario (defaults reproduce the paper's setup:

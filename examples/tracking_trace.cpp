@@ -6,11 +6,13 @@
 //   ./tracking_trace [--algo=CDPF] [--density=20] [--seed=42] [--trial=0]
 //                    [--anchor=f] [--boost=f] [--neprune=f]
 //                    [--store=true] [--verbose=true]
+//                    [--trace=out.json] [--metrics=out.json]
 #include <cstdlib>
 #include <iostream>
 
 #include "core/cdpf.hpp"
 #include "sim/experiment.hpp"
+#include "sim/observability.hpp"
 #include "support/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -19,6 +21,9 @@ int main(int argc, char** argv) {
   const std::string algo = args.get_string("algo").value_or("CDPF-NE");
   const double density = args.get_double("density").value_or(20.0);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+  const sim::ObservabilityScope observability(
+      args.get_string("trace").value_or(""),
+      args.get_string("metrics").value_or(""));
 
   sim::Scenario scenario;
   scenario.density_per_100m2 = density;
@@ -83,6 +88,9 @@ int main(int argc, char** argv) {
     std::cout << "t=" << e.time << " (final) err="
               << geom::distance(e.state.position, ref.position) << "\n";
   }
+  // This example drives the tracker directly (no run_tracking), so fold the
+  // accounting into the metrics registry for --metrics here.
+  sim::observe_comm(tracker->comm_stats());
   std::cout << "comm: " << tracker->comm_stats().summary() << "\n";
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "support/check.hpp"
 #include "support/log.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 #include "wsn/routing.hpp"
 
 namespace cdpf::core {
@@ -160,6 +161,7 @@ void Cdpf::iterate(const tracking::TargetState& truth, double time, rng::Rng& rn
 
 void Cdpf::iterate_snapshot(const SensingSnapshot& snapshot, double time,
                             rng::Rng& rng) {
+  CDPF_TRACE_SPAN("cdpf-iteration");
   CDPF_CHECK_MSG(std::isfinite(time), "iteration time must be finite");
   last_iteration_time_ = time;
   has_iterated_ = true;
@@ -179,12 +181,17 @@ void Cdpf::iterate_snapshot(const SensingSnapshot& snapshot, double time,
     //    The outcome and its scratch are reused members: reset() rewinds
     //    them without releasing capacity, so the round allocates nothing.
     propagation_.reset(network_.size());
-    propagate_particles_into(store_, network_, radio_, *motion_, config_.propagation,
-                             rng, propagation_, propagation_scratch_);
+    {
+      CDPF_TRACE_SPAN("cdpf-propagate");
+      propagate_particles_into(store_, network_, radio_, *motion_,
+                               config_.propagation, rng, propagation_,
+                               propagation_scratch_);
+    }
     has_propagation_ = true;
 
     // -- Step 2: Correction — normalize by the overheard total, estimate
     //    the PREVIOUS iteration, resample (prune). ---------------------
+    CDPF_TRACE_SPAN("cdpf-correct");
     if (propagation_.global.total_weight <= 0.0 || propagation_.next.empty()) {
       // Track lost (all particles dropped or no recorders). Reinitialize
       // from the current detections, like the cold start.
@@ -257,6 +264,7 @@ void Cdpf::iterate_snapshot(const SensingSnapshot& snapshot, double time,
     }
   }
 
+  CDPF_TRACE_SPAN("cdpf-assign");
   // A node that detects the target but holds no particle creates one, as in
   // the initialization step (paper §III-B, last paragraph); one that holds
   // a particle whose weight collapsed below that level raises it to the
@@ -299,6 +307,7 @@ void Cdpf::iterate_snapshot(const SensingSnapshot& snapshot, double time,
 }
 
 void Cdpf::likelihood_and_assign(const SensingSnapshot& snapshot) {
+  CDPF_TRACE_SPAN("cdpf-likelihood");
   // Step 3: every measuring node broadcasts its measurement (D_m). Hosts
   // evaluate the joint likelihood of the measurements they can hear.
   // Whether a host heard measurement m is decided by the distance gate
@@ -442,6 +451,7 @@ void Cdpf::likelihood_and_assign(const SensingSnapshot& snapshot) {
 }
 
 void Cdpf::neighborhood_assign(const std::vector<wsn::NodeId>& detecting) {
+  CDPF_TRACE_SPAN("cdpf-ne-assign");
   if (!predicted_position_.has_value()) {
     // No prediction yet (first iteration after (re)initialization): without
     // a predicted position there is nothing to estimate against; keep the

@@ -43,6 +43,9 @@ class ThreadPool;
 
 namespace cdpf::core {
 
+/// Every tunable of the CDPF / CDPF-NE filter, defaulting to the paper's
+/// §VI-A values. Units: seconds for times, meters for lengths, radians for
+/// angles, fractions in [0, 1] for thresholds.
 struct CdpfConfig {
   /// Filter iteration period (paper: 5 s).
   double dt = 5.0;
@@ -142,10 +145,19 @@ struct SensingSnapshot {
   std::vector<Measurement> measurements;  // broadcast in the likelihood step
 };
 
+/// The paper's filter. One instance tracks one target over one deployment;
+/// every broadcast is charged to `radio` so comm_stats() reproduces the
+/// Table I accounting. Deterministic: identical (network, config, rng
+/// stream) input gives bitwise-identical estimates for either kernel path
+/// and any thread-pool worker count. Not thread-safe externally — drive
+/// iterate() from a single thread (internal sharding is the filter's own).
 class Cdpf final : public TrackerAlgorithm {
  public:
-  /// The network's runtime state (duty cycling, failures) is honored:
-  /// sleeping or dead nodes neither broadcast, record, nor measure.
+  /// Binds to `network`/`radio` (both must outlive the filter) and sizes
+  /// all internal buffers to the node count, so steady-state iterations
+  /// allocate nothing. The network's runtime state (duty cycling,
+  /// failures) is honored: sleeping or dead nodes neither broadcast,
+  /// record, nor measure.
   Cdpf(wsn::Network& network, wsn::Radio& radio, CdpfConfig config);
 
   std::string_view name() const override;
@@ -161,6 +173,8 @@ class Cdpf final : public TrackerAlgorithm {
   const wsn::CommStats& comm_stats() const override { return radio_.stats(); }
 
   // -- Introspection for tests and benches --------------------------------
+  /// Live view of the node-hosted particle set (weights unnormalized
+  /// between the propagation and correction steps).
   const ParticleStore& particles() const { return store_; }
   /// The last propagation round's outcome (nullptr before the first round).
   /// NOTE: `->next` is a recycled buffer — the correction step swaps it with

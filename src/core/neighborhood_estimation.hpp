@@ -21,7 +21,10 @@
 
 namespace cdpf::core {
 
+/// Parameters of the neighborhood-estimation geometry. All lengths in
+/// meters, matching the deployment's units.
 struct NeighborhoodEstimationConfig {
+  /// Radius of the estimation area (paper: the sensing radius r_s = 10 m).
   double sensing_radius = 10.0;
   /// Distances are clamped from below to avoid a node sitting exactly on
   /// the predicted position absorbing all contribution (1/d blows up).

@@ -6,6 +6,7 @@
 
 #include "support/check.hpp"
 #include "support/statistics.hpp"
+#include "support/trace.hpp"
 
 namespace cdpf::core {
 
@@ -129,6 +130,7 @@ std::size_t ParticleStore::prune_below(double threshold) {
 }
 
 std::size_t ParticleStore::normalize_and_prune(double total, double threshold) {
+  CDPF_TRACE_SPAN("store-normalize-prune");
   CDPF_CHECK_MSG(total > 0.0, "cannot normalize with a non-positive total weight");
   CDPF_CHECK_MSG(std::isfinite(threshold) && threshold >= 0.0,
                  "prune threshold must be finite and non-negative");

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "support/check.hpp"
+#include "support/trace.hpp"
 
 namespace cdpf::core {
 
@@ -74,6 +75,7 @@ void propagate_particles_into(const ParticleStore& store, const wsn::Network& ne
                               wsn::Radio& radio, const tracking::MotionModel& motion,
                               const PropagationConfig& config, rng::Rng& rng,
                               PropagationOutcome& outcome, PropagationScratch& scratch) {
+  CDPF_TRACE_SPAN("propagation-round");
   CDPF_CHECK_MSG(config.record_radius > 0.0, "record radius must be positive");
   CDPF_CHECK_MSG(&store != &outcome.next, "input store must not alias outcome.next");
   const tracking::LinearProbabilityModel lin_prob(config.record_radius);

@@ -20,6 +20,11 @@ struct TimedEstimate {
   double time = 0.0;
 };
 
+/// Abstract driver interface over one tracking algorithm instance bound to
+/// a deployed network. Implementations are deterministic: two instances
+/// constructed over the same network and fed the same (truth, time, rng)
+/// sequence produce bitwise-identical estimates and communication counts.
+/// Not thread-safe — the engine drives each instance from one thread.
 class TrackerAlgorithm {
  public:
   virtual ~TrackerAlgorithm() = default;
@@ -28,6 +33,8 @@ class TrackerAlgorithm {
   TrackerAlgorithm(const TrackerAlgorithm&) = delete;
   TrackerAlgorithm& operator=(const TrackerAlgorithm&) = delete;
 
+  /// Stable display name ("CDPF", "CDPF-NE", "SDPF", ...), used as the row
+  /// key in bench tables; the storage outlives the tracker.
   virtual std::string_view name() const = 0;
 
   /// Filter iteration period in seconds (the engine calls iterate() at

@@ -5,6 +5,7 @@
 
 #include "support/check.hpp"
 #include "support/statistics.hpp"
+#include "support/trace.hpp"
 
 namespace cdpf::filters {
 
@@ -88,6 +89,7 @@ void resample_indices_into(std::span<const double> weights, std::size_t count,
                            ResamplingScheme scheme, rng::Rng& rng,
                            std::vector<std::size_t>& indices,
                            std::vector<double>& scratch) {
+  CDPF_TRACE_SPAN("resample-indices");
   const double total = checked_total(weights);
   CDPF_CHECK_MSG(count > 0, "resampling must produce at least one particle");
   indices.clear();

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "sim/observability.hpp"
 #include "support/check.hpp"
+#include "support/trace.hpp"
 
 namespace cdpf::sim {
 
@@ -54,18 +56,27 @@ RunOutcome run_tracking(core::TrackerAlgorithm& tracker,
 
   // Iterate at t = dt, 2dt, ... (the state at t = 0 is the initialization
   // instant; the first filter iteration happens after one period).
-  for (double t = 0.0; t <= duration + 1e-9; t += dt) {
-    if (hook) {
-      hook(t);
+  {
+    CDPF_TRACE_SPAN("engine-run");
+    for (double t = 0.0; t <= duration + 1e-9; t += dt) {
+      CDPF_TRACE_SPAN("engine-iteration");
+      if (hook) {
+        hook(t);
+      }
+      tracker.iterate(trajectory.at_time(t), t, rng);
+      score(tracker.take_estimates());
+      ++outcome.iterations;
+      CDPF_TRACE_COUNTER("comm-bytes-total",
+                         static_cast<double>(tracker.comm_stats().total_bytes()));
     }
-    tracker.iterate(trajectory.at_time(t), t, rng);
+    tracker.finalize();
     score(tracker.take_estimates());
-    ++outcome.iterations;
   }
-  tracker.finalize();
-  score(tracker.take_estimates());
 
   outcome.comm = tracker.comm_stats();
+  // Fold the run's communication accounting into the global metrics
+  // registry: integer counter additions, so concurrent trials sum exactly.
+  observe_comm(outcome.comm);
   return outcome;
 }
 

@@ -4,6 +4,7 @@
 
 #include "sim/thread_pool.hpp"
 #include "support/check.hpp"
+#include "support/trace.hpp"
 #include "wsn/deployment.hpp"
 
 namespace cdpf::sim {
@@ -66,6 +67,7 @@ wsn::Network build_network(const Scenario& scenario, rng::Rng& rng) {
 TrialResult run_trial(const Scenario& scenario, AlgorithmKind kind,
                       const AlgorithmParams& params, std::uint64_t root_seed,
                       std::size_t trial_index, const HookFactory& hook_factory) {
+  CDPF_TRACE_SPAN("trial-run");
   rng::Rng rng(rng::derive_stream_seed(root_seed, trial_index));
   wsn::Network network = build_network(scenario, rng);
   wsn::Radio radio(network, scenario.payloads);
@@ -88,6 +90,7 @@ MonteCarloResult run_monte_carlo(const Scenario& scenario, AlgorithmKind kind,
                                  std::uint64_t root_seed, std::size_t workers,
                                  const HookFactory& hook_factory) {
   CDPF_CHECK_MSG(trials > 0, "Monte Carlo needs at least one trial");
+  CDPF_TRACE_SPAN("monte-carlo-run");
   std::vector<TrialResult> results(trials);
   auto run_one = [&](std::size_t t) {
     results[t] = run_trial(scenario, kind, params, root_seed, t, hook_factory);

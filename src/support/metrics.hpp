@@ -1,0 +1,116 @@
+// Typed metrics registry: counters, gauges and histograms behind one
+// snapshot API, unifying the repo's ad-hoc accounting (wsn::CommStats byte /
+// message / reception totals, wsn::EnergyModel joules, iteration and
+// estimate counts) into a single named, unit-annotated value space.
+//
+// Design constraints, in order:
+//   * Exactness. Counters are unsigned 64-bit integers with atomic
+//     increments, so totals folded from concurrently running Monte-Carlo
+//     trials are bit-identical to a serial fold for any worker count —
+//     the same determinism contract the batch compute plane makes
+//     (DESIGN.md §7), and what lets a metrics snapshot reproduce
+//     wsn::CommStats totals exactly.
+//   * Thread safety without locks on the update path. add()/set()/observe()
+//     are lock-free atomics; only registration and snapshot take the
+//     registry mutex (both off the per-iteration path).
+//   * Stable handles. Registration returns a dense Id; cells live in a
+//     deque so handles and concurrent updates survive later registrations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdpf::support {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of every registered metric. Snapshots are plain data:
+/// diffable (delta()), serializable (to_json()/write_json()) and safe to
+/// keep after the registry moves on.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    std::string unit;
+    MetricKind kind = MetricKind::kCounter;
+    /// Counter value, or histogram sample count.
+    std::uint64_t count = 0;
+    /// Gauge value, or histogram sample sum.
+    double value = 0.0;
+    /// Histogram upper bucket bounds (inclusive); buckets has one extra
+    /// terminal bucket for samples above the last bound.
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+  };
+  std::vector<Entry> entries;
+
+  /// Entry by name, or nullptr.
+  const Entry* find(std::string_view name) const;
+
+  /// Per-interval difference: counters and histogram counts subtract
+  /// (entries of `after` missing from `before` pass through); gauges keep
+  /// the `after` value (a gauge is a level, not a flow).
+  static MetricsSnapshot delta(const MetricsSnapshot& before,
+                               const MetricsSnapshot& after);
+
+  /// Compact JSON object, schema `cdpf-metrics/1`.
+  std::string to_json() const;
+  /// to_json() to a file; false when the file cannot be written.
+  bool write_json(const std::string& path) const;
+};
+
+class MetricsRegistry {
+ public:
+  using Id = std::size_t;
+
+  /// Register (or look up — name is the identity) a monotonic counter.
+  Id counter(std::string_view name, std::string_view unit = "");
+  /// Register (or look up) a last-value-wins gauge.
+  Id gauge(std::string_view name, std::string_view unit = "");
+  /// Register (or look up) a histogram with inclusive upper `bounds`
+  /// (must be sorted ascending; a terminal overflow bucket is implicit).
+  Id histogram(std::string_view name, std::vector<double> bounds,
+               std::string_view unit = "");
+
+  /// Counter += delta. Lock-free; exact for any thread interleaving.
+  void add(Id id, std::uint64_t delta = 1);
+  /// Gauge = value. Lock-free.
+  void set(Id id, double value);
+  /// Record one histogram sample. Lock-free.
+  void observe(Id id, double value);
+
+  MetricsSnapshot snapshot() const;
+  /// Zero every value; registrations (names, ids, bounds) survive.
+  void reset();
+
+ private:
+  struct Cell {
+    std::string name;
+    std::string unit;
+    MetricKind kind = MetricKind::kCounter;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> value_bits{0};  // double payload via bit_cast
+    std::vector<double> bounds;
+    std::deque<std::atomic<std::uint64_t>> buckets;
+  };
+
+  Id get_or_create(std::string_view name, std::string_view unit, MetricKind kind,
+                   std::vector<double> bounds);
+
+  mutable std::mutex mutex_;  // registration + snapshot only
+  std::deque<Cell> cells_;    // deque: Ids and atomics stable under growth
+  std::map<std::string, Id, std::less<>> by_name_;
+};
+
+/// The process-wide registry the simulation layer folds run accounting into
+/// and the `--metrics` CLI flag snapshots. Library code never resets it;
+/// scopes that want a clean window (sim::ObservabilityScope) do.
+MetricsRegistry& global_metrics();
+
+}  // namespace cdpf::support

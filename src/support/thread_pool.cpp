@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "support/trace.hpp"
+
 namespace cdpf::support {
 
 ThreadPool::ThreadPool(std::size_t workers) {
@@ -62,6 +64,7 @@ void ThreadPool::parallel_for(std::size_t count,
   for (std::size_t b = 0; b < blocks; ++b) {
     const std::size_t end = begin + base + (b < extra ? 1 : 0);
     futures.push_back(submit([&fn, begin, end] {
+      CDPF_TRACE_SPAN("pool-block");
       for (std::size_t i = begin; i < end; ++i) {
         fn(i);
       }

@@ -43,10 +43,12 @@ struct NodeSoa {
   }
 };
 
+/// Field geometry and radii, all in meters; defaults are the paper's §VI-A
+/// scenario.
 struct NetworkConfig {
   geom::Aabb field = geom::Aabb::square(200.0);  // paper: 200 m x 200 m
-  double sensing_radius = 10.0;                  // paper: 10 m
-  double comm_radius = 30.0;                     // paper: 30 m
+  double sensing_radius = 10.0;                  // paper: r_s = 10 m
+  double comm_radius = 30.0;                     // paper: r_c = 30 m
 
   /// True when the paper's overhearing assumption r_s <= r_c / 2 holds.
   bool overhearing_assumption_holds() const {
@@ -54,12 +56,24 @@ struct NetworkConfig {
   }
 };
 
+/// The deployed field. Node ids are dense [0, size()) in deployment order
+/// and never change after construction; spatial queries return ids in the
+/// grid's global cell-major order, which is deterministic for a given
+/// deployment — algorithm results therefore never depend on hash or
+/// pointer order. Not thread-safe for mutation; const queries may be read
+/// from multiple threads as long as no runtime-state change is concurrent
+/// (active_comm_disk_count is the exception — see its note).
 class Network {
  public:
+  /// Deploys one node per position (meters, inside `config.field`).
+  /// Precondition: `positions` is non-empty; the sink is the node nearest
+  /// the field center, ties broken toward the lowest id.
   Network(std::vector<geom::Vec2> positions, NetworkConfig config);
 
   const NetworkConfig& config() const { return config_; }
+  /// Number of deployed nodes (alive or not).
   std::size_t size() const { return nodes_.size(); }
+  /// Deployment density in nodes per 100 m² — the x-axis of Figs. 5/6.
   double density_per_100m2() const;
 
   // node() and position() are called tens of millions of times per simulated
@@ -90,8 +104,12 @@ class Network {
   NodeId sink() const { return sink_; }
 
   // -- Runtime state ------------------------------------------------------
+  /// Kill or revive a node (failure injection). Dead nodes stay deployed —
+  /// ids remain stable — but drop out of every active-* query.
   void set_alive(NodeId id, bool alive);
+  /// Duty-cycle a node awake or asleep; asleep nodes are inactive.
   void set_power(NodeId id, PowerState state);
+  /// Alive AND awake — the participation predicate every query filters on.
   bool is_active(NodeId id) const { return node(id).active(); }
   /// True when every node is alive and awake (the common case outside the
   /// failure/duty-cycle experiments) — spatial queries then skip per-node

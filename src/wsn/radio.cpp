@@ -1,6 +1,7 @@
 #include "wsn/radio.hpp"
 
 #include "support/check.hpp"
+#include "support/trace.hpp"
 
 namespace cdpf::wsn {
 
@@ -21,6 +22,7 @@ bool Radio::interferes(NodeId tx, NodeId src, NodeId rx, double guard) const {
 
 void Radio::broadcast(NodeId from, MessageKind kind, std::size_t payload_bytes,
                       std::vector<NodeId>& out) {
+  CDPF_TRACE_INSTANT("radio-broadcast");
   CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
   network_.active_nodes_within(network_.position(from), network_.config().comm_radius,
                                out);
@@ -47,6 +49,7 @@ std::size_t Radio::broadcast_count(NodeId from, MessageKind kind,
     broadcast(from, kind, payload_bytes, scratch_);
     return scratch_.size();
   }
+  CDPF_TRACE_INSTANT("radio-broadcast-count");
   CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
   // The sender is active and at distance zero from its own (true) position,
   // so the disk count always includes it; receivers exclude it. The memoized
@@ -58,6 +61,7 @@ std::size_t Radio::broadcast_count(NodeId from, MessageKind kind,
 }
 
 bool Radio::unicast(NodeId from, NodeId to, MessageKind kind, std::size_t payload_bytes) {
+  CDPF_TRACE_INSTANT("radio-unicast");
   CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
   if (!network_.is_active(to) || !in_range(from, to)) {
     return false;
@@ -72,6 +76,7 @@ bool Radio::unicast(NodeId from, NodeId to, MessageKind kind, std::size_t payloa
 }
 
 void Radio::transceiver_broadcast(MessageKind kind, std::size_t payload_bytes) {
+  CDPF_TRACE_INSTANT("radio-transceiver-broadcast");
   std::size_t receivers = 0;
   for (const Node& n : network_.nodes()) {
     if (n.active()) {
@@ -86,6 +91,7 @@ void Radio::transceiver_broadcast(MessageKind kind, std::size_t payload_bytes) {
 
 void Radio::send_to_transceiver(NodeId from, MessageKind kind,
                                 std::size_t payload_bytes) {
+  CDPF_TRACE_INSTANT("radio-send-to-transceiver");
   CDPF_CHECK_MSG(network_.is_active(from), "only active nodes can transmit");
   stats_.record(kind, payload_bytes, 1);
   if (energy_ != nullptr) {

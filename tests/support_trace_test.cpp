@@ -1,0 +1,555 @@
+// Observability plane tests: trace sessions produce valid Chrome-trace
+// JSON under span nesting and thread interleaving, and metrics counters are
+// exact (bitwise-identical snapshots) for any parallel_for worker count.
+//
+// These tests exercise the always-compiled runtime API (Trace::record_*,
+// MetricsRegistry) directly, so they pass identically whether or not the
+// CDPF_TRACE_* instrumentation macros are compiled in (CDPF_TRACING).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "sim/observability.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+#include "wsn/comm_stats.hpp"
+#include "wsn/message.hpp"
+
+namespace cdpf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON parser, just strict enough to
+// schema-check the writers' output (objects, arrays, strings, numbers,
+// booleans, null; doubles for all numbers).
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      value;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(value);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(value);
+  }
+  const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(value);
+  }
+  const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(value);
+  }
+  const std::string& str() const { return std::get<std::string>(value); }
+  double num() const { return std::get<double>(value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON document";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      ADD_FAILURE() << "unexpected end of JSON input";
+      return '\0';
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    const char got = peek();
+    EXPECT_EQ(got, c) << "at byte " << pos_;
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return {parse_string()};
+      case 't':
+        pos_ += 4;
+        return {true};
+      case 'f':
+        pos_ += 5;
+        return {false};
+      case 'n':
+        pos_ += 4;
+        return {nullptr};
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    auto obj = std::make_shared<JsonObject>();
+    if (peek() == '}') {
+      ++pos_;
+      return {obj};
+    }
+    for (;;) {
+      const std::string key = parse_string();
+      expect(':');
+      obj->emplace(key, parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return {obj};
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    auto arr = std::make_shared<JsonArray>();
+    if (peek() == ']') {
+      ++pos_;
+      return {arr};
+    }
+    for (;;) {
+      arr->push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return {arr};
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        c = text_[pos_++];
+        if (c == 'u') {
+          // Only \u00XX control escapes are emitted by the writers.
+          EXPECT_LE(pos_ + 4, text_.size());
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          c = static_cast<char>(std::stoi(hex, nullptr, 16));
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return {std::stod(text_.substr(start, pos_ - start))};
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string temp_path(const char* stem) {
+  return testing::TempDir() + stem;
+}
+
+// ---------------------------------------------------------------------------
+// Trace sessions
+
+TEST(Trace, SpansNestAndExportValidChromeJson) {
+  support::Trace::start(1024);
+  {
+    support::TraceSpan outer("outer-span");
+    {
+      support::TraceSpan inner("inner-span");
+    }
+    support::Trace::record_instant("instant-mark");
+    support::Trace::record_counter("counter-mark", 42.5);
+  }
+  support::Trace::stop();
+
+  const std::vector<support::TraceEvent> events = support::Trace::events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(support::Trace::dropped(), 0u);
+
+  // The inner span closes before the outer: events appear in completion
+  // order, and the outer duration contains the inner's.
+  const support::TraceEvent* outer = nullptr;
+  const support::TraceEvent* inner = nullptr;
+  for (const support::TraceEvent& e : events) {
+    if (std::string(e.name) == "outer-span") {
+      outer = &e;
+    }
+    if (std::string(e.name) == "inner-span") {
+      inner = &e;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_LE(outer->ts_ns, inner->ts_ns);
+  EXPECT_GE(outer->ts_ns + outer->dur_ns, inner->ts_ns + inner->dur_ns);
+
+  const std::string path = temp_path("trace_nesting.json");
+  ASSERT_TRUE(support::Trace::write_chrome_json(path));
+  const JsonValue doc = JsonParser(read_file(path)).parse();
+  ASSERT_TRUE(doc.is_object());
+  const auto& root = doc.object();
+  ASSERT_TRUE(root.contains("traceEvents"));
+  const JsonArray& trace_events = root.at("traceEvents").array();
+  ASSERT_EQ(trace_events.size(), 4u);
+  for (const JsonValue& ev : trace_events) {
+    ASSERT_TRUE(ev.is_object());
+    const auto& obj = ev.object();
+    ASSERT_TRUE(obj.contains("name"));
+    ASSERT_TRUE(obj.contains("ph"));
+    ASSERT_TRUE(obj.contains("ts"));
+    ASSERT_TRUE(obj.contains("pid"));
+    ASSERT_TRUE(obj.contains("tid"));
+    const std::string& ph = obj.at("ph").str();
+    if (ph == "X") {
+      EXPECT_TRUE(obj.contains("dur"));
+    } else if (ph == "i") {
+      EXPECT_EQ(obj.at("s").str(), "t");
+    } else if (ph == "C") {
+      EXPECT_EQ(obj.at("args").object().at("value").num(), 42.5);
+    } else {
+      ADD_FAILURE() << "unexpected phase " << ph;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, ThreadInterleavingKeepsPerThreadBuffersValid) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kSpansPerThread = 100;
+  support::Trace::start(4 * kSpansPerThread);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([] {
+        for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+          support::TraceSpan span("worker-span");
+        }
+      });
+    }
+    for (std::thread& t : threads) {
+      t.join();
+    }
+  }
+  support::Trace::stop();
+
+  const std::vector<support::TraceEvent> events = support::Trace::events();
+  EXPECT_EQ(events.size(), kThreads * kSpansPerThread);
+  EXPECT_EQ(support::Trace::dropped(), 0u);
+
+  // Events from each thread carry that thread's dense tid and are in
+  // monotonically non-decreasing timestamp order within the thread.
+  std::map<std::uint32_t, std::uint64_t> last_ts;
+  std::map<std::uint32_t, std::size_t> per_thread;
+  for (const support::TraceEvent& e : events) {
+    EXPECT_GE(e.ts_ns, last_ts[e.tid]);
+    last_ts[e.tid] = e.ts_ns;
+    ++per_thread[e.tid];
+  }
+  EXPECT_EQ(per_thread.size(), kThreads);
+  for (const auto& [tid, count] : per_thread) {
+    EXPECT_EQ(count, kSpansPerThread) << "tid " << tid;
+  }
+
+  const std::string path = temp_path("trace_threads.json");
+  ASSERT_TRUE(support::Trace::write_chrome_json(path));
+  const JsonValue doc = JsonParser(read_file(path)).parse();
+  EXPECT_EQ(doc.object().at("traceEvents").array().size(),
+            kThreads * kSpansPerThread);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, FullBufferDropsAndCounts) {
+  support::Trace::start(8);
+  for (int i = 0; i < 20; ++i) {
+    support::Trace::record_instant("overflow-mark");
+  }
+  support::Trace::stop();
+  EXPECT_EQ(support::Trace::events().size(), 8u);
+  EXPECT_EQ(support::Trace::dropped(), 12u);
+}
+
+TEST(Trace, InactiveSessionRecordsNothing) {
+  support::Trace::start(64);
+  support::Trace::stop();
+  {
+    support::TraceSpan span("ignored-span");
+    support::Trace::record_instant("ignored-mark");
+  }
+  EXPECT_TRUE(support::Trace::events().empty());
+}
+
+TEST(Trace, JsonlWriterEmitsOneObjectPerLine) {
+  support::Trace::start(64);
+  {
+    support::TraceSpan span("jsonl-span");
+  }
+  support::Trace::record_counter("jsonl-counter", 7.0);
+  support::Trace::stop();
+
+  const std::string path = temp_path("trace_stream.jsonl");
+  ASSERT_TRUE(support::Trace::write_jsonl(path));
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const JsonValue doc = JsonParser(line).parse();
+    ASSERT_TRUE(doc.is_object());
+    EXPECT_TRUE(doc.object().contains("name"));
+    EXPECT_TRUE(doc.object().contains("ts_ns"));
+  }
+  EXPECT_EQ(lines, 2u);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(Metrics, CounterTotalsExactForAnyWorkerCount) {
+  constexpr std::size_t kItems = 10000;
+  constexpr std::uint64_t kExpected =
+      static_cast<std::uint64_t>(kItems) * (kItems + 1) / 2;
+  support::MetricsRegistry registry;
+  const auto id = registry.counter("test-work-items", "items");
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{8}}) {
+    registry.reset();
+    support::ThreadPool pool(workers);
+    pool.parallel_for(kItems, [&](std::size_t i) {
+      registry.add(id, static_cast<std::uint64_t>(i) + 1);
+    });
+    const support::MetricsSnapshot snap = registry.snapshot();
+    const auto* entry = snap.find("test-work-items");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->count, kExpected) << "workers=" << workers;
+    EXPECT_EQ(entry->unit, "items");
+  }
+}
+
+TEST(Metrics, GaugeKeepsLastValueAndHistogramBuckets) {
+  support::MetricsRegistry registry;
+  const auto g = registry.gauge("test-level", "m");
+  registry.set(g, 1.5);
+  registry.set(g, -2.25);
+  const auto h = registry.histogram("test-latency", {1.0, 10.0}, "ms");
+  registry.observe(h, 0.5);   // bucket 0
+  registry.observe(h, 1.0);   // bucket 0 (inclusive bound)
+  registry.observe(h, 5.0);   // bucket 1
+  registry.observe(h, 100.0); // overflow bucket
+
+  const support::MetricsSnapshot snap = registry.snapshot();
+  const auto* gauge = snap.find("test-level");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->value, -2.25);
+  const auto* hist = snap.find("test-latency");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 4u);
+  EXPECT_EQ(hist->value, 106.5);
+  ASSERT_EQ(hist->buckets.size(), 3u);
+  EXPECT_EQ(hist->buckets[0], 2u);
+  EXPECT_EQ(hist->buckets[1], 1u);
+  EXPECT_EQ(hist->buckets[2], 1u);
+}
+
+TEST(Metrics, SnapshotDeltaSubtractsCountersKeepsGauges) {
+  support::MetricsRegistry registry;
+  const auto c = registry.counter("test-steps");
+  const auto g = registry.gauge("test-height");
+  registry.add(c, 10);
+  registry.set(g, 3.0);
+  const support::MetricsSnapshot before = registry.snapshot();
+  registry.add(c, 7);
+  registry.set(g, 9.0);
+  const support::MetricsSnapshot after = registry.snapshot();
+
+  const support::MetricsSnapshot d =
+      support::MetricsSnapshot::delta(before, after);
+  EXPECT_EQ(d.find("test-steps")->count, 7u);
+  EXPECT_EQ(d.find("test-height")->value, 9.0);
+}
+
+TEST(Metrics, SnapshotJsonIsValid) {
+  support::MetricsRegistry registry;
+  registry.add(registry.counter("test-bytes", "bytes"), 1234);
+  registry.set(registry.gauge("test-ratio"), 0.5);
+  registry.observe(registry.histogram("test-sizes", {8.0}, "B"), 4.0);
+
+  const std::string path = temp_path("metrics_snapshot.json");
+  ASSERT_TRUE(registry.snapshot().write_json(path));
+  const JsonValue doc = JsonParser(read_file(path)).parse();
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.object().at("schema").str(), "cdpf-metrics/1");
+  const JsonArray& metrics = doc.object().at("metrics").array();
+  ASSERT_EQ(metrics.size(), 3u);
+  for (const JsonValue& m : metrics) {
+    EXPECT_TRUE(m.object().contains("name"));
+    EXPECT_TRUE(m.object().contains("kind"));
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// CommStats bridge: snapshots reproduce the simulator's accounting exactly
+
+wsn::CommStats make_stats(std::size_t salt) {
+  wsn::CommStats stats;
+  for (std::size_t i = 0; i < wsn::kNumMessageKinds; ++i) {
+    const auto kind = static_cast<wsn::MessageKind>(i);
+    for (std::size_t n = 0; n < (i + salt) % 5 + 1; ++n) {
+      stats.record(kind, 16 * (i + 1) + salt, 3 + i);
+    }
+  }
+  return stats;
+}
+
+TEST(ObserveComm, ReproducesCommStatsTotalsBitwise) {
+  const wsn::CommStats stats = make_stats(1);
+  support::MetricsRegistry registry;
+  sim::observe_comm(stats, registry);
+  const support::MetricsSnapshot snap = registry.snapshot();
+
+  EXPECT_EQ(snap.find("comm-total-bytes")->count,
+            static_cast<std::uint64_t>(stats.total_bytes()));
+  EXPECT_EQ(snap.find("comm-total-messages")->count,
+            static_cast<std::uint64_t>(stats.total_messages()));
+  EXPECT_EQ(snap.find("comm-total-receptions")->count,
+            static_cast<std::uint64_t>(stats.total_receptions()));
+  for (std::size_t i = 0; i < wsn::kNumMessageKinds; ++i) {
+    const auto kind = static_cast<wsn::MessageKind>(i);
+    const std::string base = "comm-" + std::string(wsn::message_kind_name(kind));
+    EXPECT_EQ(snap.find(base + "-bytes")->count,
+              static_cast<std::uint64_t>(stats.bytes(kind)));
+    EXPECT_EQ(snap.find(base + "-messages")->count,
+              static_cast<std::uint64_t>(stats.messages(kind)));
+    EXPECT_EQ(snap.find(base + "-receptions")->count,
+              static_cast<std::uint64_t>(stats.receptions(kind)));
+  }
+}
+
+TEST(ObserveComm, ConcurrentFoldsMatchSerialFoldForAnyWorkerCount) {
+  // The Table I / Monte-Carlo situation: many trials fold their CommStats
+  // into the registry from worker threads. Counter addition commutes, so
+  // the totals must be bitwise identical to a serial fold, whatever the
+  // worker count or interleaving.
+  constexpr std::size_t kTrials = 64;
+  std::vector<wsn::CommStats> trials;
+  trials.reserve(kTrials);
+  wsn::CommStats serial_total;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    trials.push_back(make_stats(t));
+    serial_total.merge(trials.back());
+  }
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{9}}) {
+    support::MetricsRegistry registry;
+    support::ThreadPool pool(workers);
+    pool.parallel_for(kTrials,
+                      [&](std::size_t t) { sim::observe_comm(trials[t], registry); });
+    const support::MetricsSnapshot snap = registry.snapshot();
+    EXPECT_EQ(snap.find("comm-total-bytes")->count,
+              static_cast<std::uint64_t>(serial_total.total_bytes()))
+        << "workers=" << workers;
+    EXPECT_EQ(snap.find("comm-total-messages")->count,
+              static_cast<std::uint64_t>(serial_total.total_messages()))
+        << "workers=" << workers;
+    EXPECT_EQ(snap.find("comm-total-receptions")->count,
+              static_cast<std::uint64_t>(serial_total.total_receptions()))
+        << "workers=" << workers;
+  }
+}
+
+TEST(ObservabilityScope, WritesTraceAndMetricsFilesOnDestruction) {
+  const std::string trace_path = temp_path("scope_trace.json");
+  const std::string metrics_path = temp_path("scope_metrics.json");
+  {
+    sim::ObservabilityScope scope(trace_path, metrics_path);
+    sim::observe_comm(make_stats(3));
+  }
+  // Both files must exist and parse, with or without CDPF_TRACING: a
+  // default build writes an empty-but-valid trace.
+  const JsonValue trace_doc = JsonParser(read_file(trace_path)).parse();
+  EXPECT_TRUE(trace_doc.object().contains("traceEvents"));
+  const JsonValue metrics_doc = JsonParser(read_file(metrics_path)).parse();
+  EXPECT_EQ(metrics_doc.object().at("schema").str(), "cdpf-metrics/1");
+  EXPECT_GT(metrics_doc.object().at("metrics").array().size(), 0u);
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Macro smoke tests: valid in every build; record only under CDPF_TRACING.
+
+TEST(TraceMacros, CompileAndRespectBuildConfiguration) {
+  support::Trace::start(64);
+  {
+    CDPF_TRACE_SPAN("macro-smoke-span");
+    CDPF_TRACE_INSTANT("macro-smoke-instant");
+    CDPF_TRACE_COUNTER("macro-smoke-counter", 1.0);
+  }
+  support::Trace::stop();
+#ifdef CDPF_TRACING
+  EXPECT_EQ(support::Trace::events().size(), 3u);
+#else
+  EXPECT_TRUE(support::Trace::events().empty());
+#endif
+}
+
+}  // namespace
+}  // namespace cdpf

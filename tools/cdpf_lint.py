@@ -26,6 +26,13 @@ compiler warnings) cannot express:
                        no library-internal headers (support/check.hpp,
                        support/log.hpp) and no `detail/` headers.
 
+  trace-span-names     Every CDPF_TRACE_SPAN in src/ must name its span with
+                       a kebab-case string literal, and the name must be
+                       unique across the tree. Span names are stable
+                       identifiers: tools/trace_summary.py groups by them and
+                       trace viewers search by them, so a duplicated or
+                       ad-hoc-cased name silently merges unrelated stages.
+
 A finding can be waived on a specific line with a trailing or preceding
 comment `// cdpf-lint: allow(<rule>)` — use sparingly and say why.
 
@@ -187,6 +194,39 @@ NUMERIC_PARAM_RE = re.compile(r"\b(?:double|float)\b")
 CONFIG_PARAM_RE = re.compile(r"\bConfig\b|\bconfig\b")
 
 
+TRACE_SPAN_RE = re.compile(r"CDPF_TRACE_SPAN\s*\(\s*(?P<arg>[^)]*)\)")
+KEBAB_NAME_RE = re.compile(r'^"[a-z][a-z0-9]*(?:-[a-z0-9]+)*"$')
+
+
+def lint_trace_span_names(files: list[tuple[pathlib.Path, list[str]]]) -> list[Finding]:
+    """Span names must be unique kebab-case string literals (tree-wide)."""
+    findings = []
+    seen: dict[str, tuple[pathlib.Path, int]] = {}
+    for path, lines in files:
+        for i, line in enumerate(lines):
+            code = line.split("//", 1)[0]
+            for m in TRACE_SPAN_RE.finditer(code):
+                if "#define" in code or allowed(lines, i, "trace-span-names"):
+                    continue
+                arg = m.group("arg").strip()
+                if not KEBAB_NAME_RE.match(arg):
+                    findings.append(
+                        Finding(path, i + 1, "trace-span-names",
+                                f"span name {arg or '<empty>'} must be a "
+                                'kebab-case string literal ("like-this")'))
+                    continue
+                if arg in seen:
+                    first_path, first_line = seen[arg]
+                    findings.append(
+                        Finding(path, i + 1, "trace-span-names",
+                                f"span name {arg} already used at "
+                                f"{first_path}:{first_line}; names must be "
+                                "unique so per-stage summaries stay unambiguous"))
+                else:
+                    seen[arg] = (path, i + 1)
+    return findings
+
+
 def lint_entry_check(path: pathlib.Path, lines: list[str]) -> list[Finding]:
     findings = []
     for start, name, params, body in function_definitions(lines):
@@ -236,6 +276,12 @@ def main() -> int:
     for path in sorted((root / "examples").glob("*.cpp")):
         lines = path.read_text().splitlines()
         findings += lint_example_includes(path.relative_to(root), lines)
+
+    trace_files = []
+    for path in sorted((root / "src").rglob("*.cpp")) + sorted(
+            (root / "src").rglob("*.hpp")):
+        trace_files.append((path.relative_to(root), path.read_text().splitlines()))
+    findings += lint_trace_span_names(trace_files)
 
     # Entry-check scope: every core translation unit, plus the batch-compute-
     # plane kernels that live outside core/*.cpp — the inline SoA kernel

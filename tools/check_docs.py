@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Scans README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md, PAPER.md,
+CHANGES.md and everything under docs/ for:
+
+  * relative links (`[text](path)` / `[text](path#anchor)`) whose target
+    file does not exist;
+  * intra-document and cross-document `#anchor` fragments that match no
+    heading (GitHub slug rules: lowercase, spaces to dashes, punctuation
+    dropped);
+  * reference-style link definitions are resolved the same way.
+
+External links (http/https/mailto) are intentionally NOT fetched — CI must
+not depend on the network. Inline code spans and fenced code blocks are
+ignored.
+
+Exit status: 0 when clean, 1 when any broken link is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+DOC_FILES = ["README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md",
+             "PAPER.md", "PAPERS.md", "CHANGES.md"]
+
+LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(?P<title>.+?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def github_slug(title: str) -> str:
+    """GitHub's anchor slug: strip markdown emphasis/code, lowercase, drop
+    punctuation except dashes/underscores, spaces to dashes."""
+    title = re.sub(r"[`*_]", "", title)
+    # Drop link syntax in headings, keep the text.
+    title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", title)
+    title = title.strip().lower()
+    title = re.sub(r"[^\w\- ]", "", title)
+    return title.replace(" ", "-")
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Blank out fenced code blocks and inline code spans."""
+    out = []
+    in_fence = False
+    for line in lines:
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else re.sub(r"`[^`]*`", "", line))
+    return out
+
+
+def headings_of(path: pathlib.Path, cache: dict) -> set[str]:
+    if path not in cache:
+        slugs: dict[str, int] = {}
+        anchors = set()
+        try:
+            lines = strip_code(path.read_text().splitlines())
+        except OSError:
+            cache[path] = set()
+            return cache[path]
+        for line in lines:
+            m = HEADING_RE.match(line)
+            if m:
+                slug = github_slug(m.group("title"))
+                n = slugs.get(slug, 0)
+                slugs[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path,
+               heading_cache: dict) -> list[str]:
+    errors = []
+    lines = strip_code(path.read_text().splitlines())
+    for i, line in enumerate(lines, start=1):
+        for m in list(LINK_RE.finditer(line)) + list(IMAGE_RE.finditer(line)):
+            target = m.group("target")
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    errors.append(f"{path.relative_to(root)}:{i}: broken link "
+                                  f"target `{target}` (no such file)")
+                    continue
+            else:
+                resolved = path.resolve()
+            if anchor and resolved.suffix == ".md":
+                if anchor not in headings_of(resolved, heading_cache):
+                    errors.append(f"{path.relative_to(root)}:{i}: broken "
+                                  f"anchor `#{anchor}` in `{target}` "
+                                  "(no matching heading)")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent)
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    targets = [root / name for name in DOC_FILES if (root / name).is_file()]
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        targets += sorted(docs_dir.rglob("*.md"))
+    if not targets:
+        print("check_docs: no documentation files found", file=sys.stderr)
+        return 2
+
+    heading_cache: dict = {}
+    errors = []
+    for path in targets:
+        errors += check_file(path, root, heading_cache)
+
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"\ncheck_docs: {len(errors)} broken link(s) across "
+              f"{len(targets)} files", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(targets)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
