@@ -18,6 +18,25 @@ namespace {
 
 using namespace cdpf;
 
+/// One trial of one encoding variant, recorded as
+/// [RMSE, bytes, messages, bits/measurement].
+sim::SlotRecord encoding_trial(const core::CpfConfig& config,
+                               const sim::Scenario& scenario, std::uint64_t seed,
+                               std::size_t trial) {
+  rng::Rng rng(rng::derive_stream_seed(seed, trial));
+  wsn::Network network = sim::build_network(scenario, rng);
+  wsn::Radio radio(network, scenario.payloads);
+  const tracking::Trajectory trajectory =
+      tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+  core::CentralizedPf tracker(network, radio, config);
+  const sim::RunOutcome outcome = sim::run_tracking(tracker, trajectory, rng);
+  sim::SlotRecord record;
+  record.values = {outcome.rmse(), static_cast<double>(outcome.comm.total_bytes()),
+                   static_cast<double>(outcome.comm.total_messages()),
+                   tracker.mean_bits_per_measurement()};
+  return record;
+}
+
 struct Row {
   double rmse = 0.0;
   double bytes = 0.0;
@@ -25,29 +44,15 @@ struct Row {
   double bits_per_measurement = 0.0;
 };
 
-Row run(const core::CpfConfig& config, const sim::Scenario& scenario,
-        std::size_t trials, std::uint64_t seed, std::size_t workers) {
-  // One slot per trial, folded in trial order below — the aggregates are
-  // identical for any worker count.
-  const std::vector<Row> slots = bench::run_slots_ordered<Row>(
-      trials, workers, [&](std::size_t t) {
-        rng::Rng rng(rng::derive_stream_seed(seed, t));
-        wsn::Network network = sim::build_network(scenario, rng);
-        wsn::Radio radio(network, scenario.payloads);
-        const tracking::Trajectory trajectory =
-            tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
-        core::CentralizedPf tracker(network, radio, config);
-        const sim::RunOutcome outcome = sim::run_tracking(tracker, trajectory, rng);
-        return Row{outcome.rmse(), static_cast<double>(outcome.comm.total_bytes()),
-                   static_cast<double>(outcome.comm.total_messages()),
-                   tracker.mean_bits_per_measurement()};
-      });
+Row fold_rows(const std::vector<sim::SlotRecord>& records, std::size_t offset,
+              std::size_t trials) {
   support::RunningStats rmse, bytes, messages, bits;
-  for (const Row& slot : slots) {
-    rmse.add(slot.rmse);
-    bytes.add(slot.bytes);
-    messages.add(slot.messages);
-    bits.add(slot.bits_per_measurement);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::vector<double>& v = records[offset + t].values;
+    rmse.add(v[0]);
+    bytes.add(v[1]);
+    messages.add(v[2]);
+    bits.add(v[3]);
   }
   return {rmse.mean(), bytes.mean(), messages.mean(), bits.mean()};
 }
@@ -58,17 +63,21 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description =
+        "Ablation A9: adaptive (Huffman) measurement encoding vs fixed-width.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
-
-    std::cout << "Ablation A9 — adaptive measurement encoding (density " << density
-              << ", " << options.trials << " trials, 4096 quantization levels)\n";
-    support::Table table(
-        {"variant", "RMSE (m)", "bytes", "messages", "bits/measurement"});
 
     core::CpfConfig cpf;  // raw
     core::CpfConfig dpf;
@@ -83,15 +92,35 @@ int main(int argc, char** argv) {
     } variants[] = {{"CPF (raw)", &cpf, 32.0},
                     {"DPF (quantized)", &dpf, 16.0},
                     {"DPF-A (Huffman innovations)", &dpfa, 0.0}};
-    for (const auto& v : variants) {
-      const Row r =
-          run(*v.config, scenario, options.trials, options.seed, options.workers);
+    constexpr std::size_t kVariants = 3;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_adaptive_encoding",
+        {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kVariants * options.trials, [&](std::size_t slot) {
+          return encoding_trial(*variants[slot / options.trials].config, scenario,
+                                options.seed, slot % options.trials);
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+
+    std::cout << "Ablation A9 — adaptive measurement encoding (density " << density
+              << ", " << options.trials << " trials, 4096 quantization levels)\n";
+    support::Table table(
+        {"variant", "RMSE (m)", "bytes", "messages", "bits/measurement"});
+    for (std::size_t vi = 0; vi < kVariants; ++vi) {
+      const Row r = fold_rows(*records, vi * options.trials, options.trials);
       auto row = table.row();
-      row.cell(v.name)
+      row.cell(variants[vi].name)
           .cell(r.rmse, 2)
           .cell(r.bytes, 0)
           .cell(r.messages, 0)
-          .cell(v.fixed_bits > 0.0 ? v.fixed_bits : r.bits_per_measurement, 1);
+          .cell(variants[vi].fixed_bits > 0.0 ? variants[vi].fixed_bits
+                                              : r.bits_per_measurement,
+                1);
       table.commit_row(row);
     }
     bench::emit(table, options, "Ablation A9: adaptive encoding");

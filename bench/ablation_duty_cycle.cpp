@@ -38,18 +38,22 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description = "Ablation A4: duty cycling with and without TDSS wake-up.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
     const sim::AlgorithmParams params;
 
-    std::cout << "Ablation A4 — duty cycling and TDSS wake-up (density " << density
-              << ", " << options.trials << " trials)\n";
-    support::Table table({"awake fraction", "TDSS", "schedule", "CDPF RMSE (m)",
-                          "CDPF est/run", "CDPF-NE RMSE (m)", "CDPF bytes"});
     struct Case {
       double fraction;
       bool tdss;
@@ -57,14 +61,37 @@ int main(int argc, char** argv) {
     };
     const Case cases[] = {{1.0, false, 0}, {0.5, false, 0}, {0.5, true, 0},
                           {0.3, false, 0}, {0.3, true, 0},  {0.3, true, 99}};
-    for (const Case& c : cases) {
-      const auto hook = duty_hook(c.fraction, c.tdss, c.random_seed);
-      const auto cdpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
-                               options.trials, options.seed, options.workers, hook);
-      const auto ne =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
-                               options.trials, options.seed, options.workers, hook);
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCdpf,
+                                        sim::AlgorithmKind::kCdpfNe};
+    constexpr std::size_t kCases = 6;
+    constexpr std::size_t kKinds = 2;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_duty_cycle", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kCases * kKinds * options.trials, [&](std::size_t slot) {
+          const std::size_t cell = slot / options.trials;
+          const Case& c = cases[cell / kKinds];
+          return sim::to_record(
+              sim::run_trial(scenario, kinds[cell % kKinds], params, options.seed,
+                             slot % options.trials,
+                             duty_hook(c.fraction, c.tdss, c.random_seed)));
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+
+    std::cout << "Ablation A4 — duty cycling and TDSS wake-up (density " << density
+              << ", " << options.trials << " trials)\n";
+    support::Table table({"awake fraction", "TDSS", "schedule", "CDPF RMSE (m)",
+                          "CDPF est/run", "CDPF-NE RMSE (m)", "CDPF bytes"});
+    for (std::size_t ci = 0; ci < kCases; ++ci) {
+      const Case& c = cases[ci];
+      const sim::MonteCarloResult cdpf = sim::fold_monte_carlo(
+          *records, (ci * kKinds + 0) * options.trials, options.trials);
+      const sim::MonteCarloResult ne = sim::fold_monte_carlo(
+          *records, (ci * kKinds + 1) * options.trials, options.trials);
       auto row = table.row();
       row.cell(c.fraction, 1)
           .cell(c.tdss ? "on" : "off")

@@ -17,44 +17,88 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description =
+        "Ablation A8: localization error propagated into tracking error.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
     const sim::AlgorithmParams params;
 
+    const double sigmas[] = {0.0, 0.5, 1.0, 2.0, 4.0};
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCdpf,
+                                        sim::AlgorithmKind::kCdpfNe};
+    constexpr std::size_t kSigmas = 5;
+    constexpr std::size_t kKinds = 2;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_localization", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kSigmas * kKinds * options.trials, [&](std::size_t slot) {
+          const std::size_t cell = slot / options.trials;
+          const double sigma = sigmas[cell / kKinds];
+          // Each trial records its own localization outcome (appended after
+          // the standard trial layout), folded deterministically below.
+          auto loc_error = std::make_shared<double>(0.0);
+          auto unlocalized = std::make_shared<double>(0.0);
+          const auto hook_factory = [=](wsn::Network& net,
+                                        rng::Rng& rng) -> sim::StepHook {
+            wsn::LocalizationConfig config;
+            config.anchor_fraction = 0.1;
+            config.range_sigma_m = sigma;
+            const wsn::LocalizationResult result = wsn::localize(net, config, rng);
+            *loc_error = result.mean_error(net);
+            *unlocalized = static_cast<double>(result.unlocalized);
+            net.set_believed_positions(result.positions);
+            return {};
+          };
+          sim::SlotRecord record =
+              sim::to_record(sim::run_trial(scenario, kinds[cell % kKinds], params,
+                                            options.seed, slot % options.trials,
+                                            hook_factory));
+          record.values.push_back(*loc_error);
+          record.values.push_back(*unlocalized);
+          return record;
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+
     std::cout << "Ablation A8 — localization error vs tracking error (density "
               << density << ", " << options.trials << " trials, 10% anchors)\n";
     support::Table table({"range sigma (m)", "mean loc err (m)", "unlocalized",
                           "CDPF RMSE (m)", "CDPF-NE RMSE (m)"});
-    for (const double sigma : {0.0, 0.5, 1.0, 2.0, 4.0}) {
-      auto loc_error = std::make_shared<support::RunningStats>();
-      auto unlocalized = std::make_shared<support::RunningStats>();
-      const auto hook_factory = [=](wsn::Network& net,
-                                    rng::Rng& rng) -> sim::StepHook {
-        wsn::LocalizationConfig config;
-        config.anchor_fraction = 0.1;
-        config.range_sigma_m = sigma;
-        const wsn::LocalizationResult result = wsn::localize(net, config, rng);
-        loc_error->add(result.mean_error(net));
-        unlocalized->add(static_cast<double>(result.unlocalized));
-        net.set_believed_positions(result.positions);
-        return {};
-      };
-      const auto cdpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
-                               options.trials, options.seed, options.workers,
-                               hook_factory);
-      const auto ne =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
-                               options.trials, options.seed, options.workers,
-                               hook_factory);
+    for (std::size_t si = 0; si < kSigmas; ++si) {
+      // Localization statistics pool both algorithms' deployments (each
+      // trial self-localizes independently), like the tracking columns pool
+      // their own trials.
+      support::RunningStats loc_error, unlocalized;
+      for (std::size_t ki = 0; ki < kKinds; ++ki) {
+        const std::size_t offset = (si * kKinds + ki) * options.trials;
+        for (std::size_t t = 0; t < options.trials; ++t) {
+          const std::vector<double>& v = (*records)[offset + t].values;
+          loc_error.add(v[sim::kTrialRecordSize]);
+          unlocalized.add(v[sim::kTrialRecordSize + 1]);
+        }
+      }
+      const sim::MonteCarloResult cdpf = sim::fold_monte_carlo(
+          *records, (si * kKinds + 0) * options.trials, options.trials);
+      const sim::MonteCarloResult ne = sim::fold_monte_carlo(
+          *records, (si * kKinds + 1) * options.trials, options.trials);
       auto row = table.row();
-      row.cell(sigma, 1)
-          .cell(loc_error->mean(), 2)
-          .cell(unlocalized->mean(), 1)
+      row.cell(sigmas[si], 1)
+          .cell(loc_error.mean(), 2)
+          .cell(unlocalized.mean(), 1)
           .cell(cdpf.rmse.mean(), 2)
           .cell(ne.rmse.mean(), 2);
       table.commit_row(row);

@@ -13,38 +13,62 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description = "Ablation A3: tolerance to unexpected node failure.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
     const sim::AlgorithmParams params;
 
+    const double fractions[] = {0.0, 0.1, 0.2, 0.3, 0.5};
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCdpf,
+                                        sim::AlgorithmKind::kCdpfNe,
+                                        sim::AlgorithmKind::kSdpf};
+    constexpr std::size_t kFractions = 5;
+    constexpr std::size_t kKinds = 3;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_node_failure", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kFractions * kKinds * options.trials, [&](std::size_t slot) {
+          const std::size_t cell = slot / options.trials;
+          const double fraction = fractions[cell / kKinds];
+          const auto hook_factory = [fraction](wsn::Network& net,
+                                               rng::Rng& rng) -> sim::StepHook {
+            wsn::FailureInjector(net).fail_fraction(fraction, rng);
+            return {};
+          };
+          return sim::to_record(sim::run_trial(scenario, kinds[cell % kKinds],
+                                               params, options.seed,
+                                               slot % options.trials, hook_factory));
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+
     std::cout << "Ablation A3 — tolerance to unexpected node failure (density "
               << density << ", " << options.trials << " trials)\n";
     support::Table table({"failed fraction", "CDPF RMSE (m)", "CDPF-NE RMSE (m)",
                           "SDPF RMSE (m)", "CDPF lost runs"});
-    for (const double fraction : {0.0, 0.1, 0.2, 0.3, 0.5}) {
-      const auto hook_factory = [fraction](wsn::Network& net,
-                                           rng::Rng& rng) -> sim::StepHook {
-        wsn::FailureInjector(net).fail_fraction(fraction, rng);
-        return {};
-      };
-      const auto cdpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
-                               options.trials, options.seed, options.workers,
-                               hook_factory);
-      const auto ne =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
-                               options.trials, options.seed, options.workers,
-                               hook_factory);
-      const auto sdpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf, params,
-                               options.trials, options.seed, options.workers,
-                               hook_factory);
+    for (std::size_t fi = 0; fi < kFractions; ++fi) {
+      const sim::MonteCarloResult cdpf = sim::fold_monte_carlo(
+          *records, (fi * kKinds + 0) * options.trials, options.trials);
+      const sim::MonteCarloResult ne = sim::fold_monte_carlo(
+          *records, (fi * kKinds + 1) * options.trials, options.trials);
+      const sim::MonteCarloResult sdpf = sim::fold_monte_carlo(
+          *records, (fi * kKinds + 2) * options.trials, options.trials);
       auto row = table.row();
-      row.cell(fraction, 1)
+      row.cell(fractions[fi], 1)
           .cell(cdpf.rmse.mean(), 2)
           .cell(ne.rmse.mean(), 2)
           .cell(sdpf.rmse.mean(), 2)

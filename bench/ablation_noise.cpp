@@ -12,33 +12,60 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description = "Ablation A7: bearing-noise (sigma_n) sensitivity sweep.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
+
+    const double sigmas[] = {0.01, 0.05, 0.1, 0.2, 0.5};
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCpf,
+                                        sim::AlgorithmKind::kSdpf,
+                                        sim::AlgorithmKind::kCdpf,
+                                        sim::AlgorithmKind::kCdpfNe};
+    constexpr std::size_t kSigmas = 5;
+    constexpr std::size_t kKinds = 4;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_noise", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kSigmas * kKinds * options.trials, [&](std::size_t slot) {
+          const std::size_t cell = slot / options.trials;
+          sim::AlgorithmParams params;
+          const double sigma = sigmas[cell / kKinds];
+          params.cpf.sigma_bearing = sigma;
+          params.sdpf.sigma_bearing = sigma;
+          params.cdpf.sigma_bearing = sigma;
+          return sim::to_record(sim::run_trial(scenario, kinds[cell % kKinds],
+                                               params, options.seed,
+                                               slot % options.trials));
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
 
     std::cout << "Ablation A7 — bearing noise sigma_n (density " << density << ", "
               << options.trials << " trials; paper: sigma_n = 0.05)\n";
     support::Table table({"sigma_n (rad)", "CPF RMSE (m)", "SDPF RMSE (m)",
                           "CDPF RMSE (m)", "CDPF-NE RMSE (m)"});
-    for (const double sigma : {0.01, 0.05, 0.1, 0.2, 0.5}) {
-      sim::AlgorithmParams params;
-      params.cpf.sigma_bearing = sigma;
-      params.sdpf.sigma_bearing = sigma;
-      params.cdpf.sigma_bearing = sigma;
-      auto run = [&](sim::AlgorithmKind kind) {
-        return sim::run_monte_carlo(scenario, kind, params, options.trials,
-                                    options.seed, options.workers)
-            .rmse.mean();
-      };
+    for (std::size_t si = 0; si < kSigmas; ++si) {
       auto row = table.row();
-      row.cell(sigma, 2)
-          .cell(run(sim::AlgorithmKind::kCpf), 2)
-          .cell(run(sim::AlgorithmKind::kSdpf), 2)
-          .cell(run(sim::AlgorithmKind::kCdpf), 2)
-          .cell(run(sim::AlgorithmKind::kCdpfNe), 2);
+      row.cell(sigmas[si], 2);
+      for (std::size_t ki = 0; ki < kKinds; ++ki) {
+        const sim::MonteCarloResult r = sim::fold_monte_carlo(
+            *records, (si * kKinds + ki) * options.trials, options.trials);
+        row.cell(r.rmse.mean(), 2);
+      }
       table.commit_row(row);
     }
     bench::emit(table, options, "Ablation A7: measurement noise");

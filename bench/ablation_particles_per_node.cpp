@@ -14,18 +14,49 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description = "Ablation A2: SDPF particles-per-detecting-node sweep.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
 
-    const sim::AlgorithmParams baseline;
-    const auto cdpf =
-        sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, baseline,
-                             options.trials, options.seed, options.workers);
+    // Cell 0 is the CDPF reference; cells 1..5 sweep SDPF's particle count.
+    const std::size_t counts[] = {1, 2, 4, 8, 16};
+    constexpr std::size_t kCells = 6;
 
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_particles_per_node",
+        {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kCells * options.trials, [&](std::size_t slot) {
+          const std::size_t cell = slot / options.trials;
+          sim::AlgorithmParams params;
+          if (cell == 0) {
+            return sim::to_record(sim::run_trial(scenario, sim::AlgorithmKind::kCdpf,
+                                                 params, options.seed,
+                                                 slot % options.trials));
+          }
+          params.sdpf.particles_per_detection = counts[cell - 1];
+          return sim::to_record(sim::run_trial(scenario, sim::AlgorithmKind::kSdpf,
+                                               params, options.seed,
+                                               slot % options.trials));
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+
+    const sim::MonteCarloResult cdpf =
+        sim::fold_monte_carlo(*records, 0, options.trials);
     std::cout << "Ablation A2 — SDPF particles per detecting node (density "
               << density << ", " << options.trials << " trials; CDPF reference: "
               << support::format_double(cdpf.total_bytes.mean(), 0) << " B, RMSE "
@@ -33,15 +64,11 @@ int main(int argc, char** argv) {
 
     support::Table table({"particles/node", "SDPF bytes", "SDPF RMSE (m)",
                           "CDPF saving vs SDPF"});
-    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4},
-                                std::size_t{8}, std::size_t{16}}) {
-      sim::AlgorithmParams params;
-      params.sdpf.particles_per_detection = n;
-      const auto sdpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf, params,
-                               options.trials, options.seed, options.workers);
+    for (std::size_t ci = 1; ci < kCells; ++ci) {
+      const sim::MonteCarloResult sdpf =
+          sim::fold_monte_carlo(*records, ci * options.trials, options.trials);
       auto row = table.row();
-      row.cell(n)
+      row.cell(counts[ci - 1])
           .cell(sdpf.total_bytes.mean(), 0)
           .cell(sdpf.rmse.mean(), 2)
           .cell("-" +

@@ -59,34 +59,75 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description =
+        "Ablation A6: sensing radius vs the overhearing assumption.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
+
+    const double radii[] = {5.0, 10.0, 15.0, 20.0};
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCdpf,
+                                        sim::AlgorithmKind::kCdpfNe};
+    constexpr std::size_t kRadii = 4;
+    constexpr std::size_t kKinds = 2;
+
+    const auto scenario_for = [&](std::size_t ri) {
+      sim::Scenario scenario;
+      scenario.density_per_100m2 = density;
+      scenario.network.sensing_radius = radii[ri];
+      return scenario;
+    };
+
+    // Slot space: the Monte-Carlo region (radii x {CDPF, CDPF-NE} x trials)
+    // followed by one overhearing-probe slot per radius.
+    const std::size_t mc_slots = kRadii * kKinds * options.trials;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_radius_ratio", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(mc_slots + kRadii, [&](std::size_t slot) {
+          if (slot >= mc_slots) {
+            sim::SlotRecord record;
+            record.values = {incomplete_overhearing_fraction(
+                scenario_for(slot - mc_slots), options.seed)};
+            return record;
+          }
+          const std::size_t cell = slot / options.trials;
+          const std::size_t ri = cell / kKinds;
+          sim::AlgorithmParams params;
+          params.cdpf.propagation.record_radius = radii[ri];
+          params.cdpf.neighborhood.sensing_radius = radii[ri];
+          return sim::to_record(sim::run_trial(scenario_for(ri), kinds[cell % kKinds],
+                                               params, options.seed,
+                                               slot % options.trials));
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
 
     std::cout << "Ablation A6 — sensing radius vs the overhearing assumption"
                  " (r_c = 30 m fixed, density " << density << ")\n";
     support::Table table({"r_s (m)", "r_s <= r_c/2", "incomplete overhearing",
                           "CDPF RMSE (m)", "CDPF-NE RMSE (m)"});
-    for (const double rs : {5.0, 10.0, 15.0, 20.0}) {
-      sim::Scenario scenario;
-      scenario.density_per_100m2 = density;
-      scenario.network.sensing_radius = rs;
-      sim::AlgorithmParams params;
-      params.cdpf.propagation.record_radius = rs;
-      params.cdpf.neighborhood.sensing_radius = rs;
-
-      const auto cdpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
-                               options.trials, options.seed, options.workers);
-      const auto ne =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
-                               options.trials, options.seed, options.workers);
+    for (std::size_t ri = 0; ri < kRadii; ++ri) {
+      const sim::MonteCarloResult cdpf = sim::fold_monte_carlo(
+          *records, (ri * kKinds + 0) * options.trials, options.trials);
+      const sim::MonteCarloResult ne = sim::fold_monte_carlo(
+          *records, (ri * kKinds + 1) * options.trials, options.trials);
       auto row = table.row();
-      row.cell(rs, 0)
-          .cell(scenario.network.overhearing_assumption_holds() ? "yes" : "NO")
+      row.cell(radii[ri], 0)
+          .cell(scenario_for(ri).network.overhearing_assumption_holds() ? "yes"
+                                                                        : "NO")
           .cell(support::format_double(
-                    100.0 * incomplete_overhearing_fraction(scenario, options.seed),
-                    1) +
+                    100.0 * (*records)[mc_slots + ri].values[0], 1) +
                 "%")
           .cell(cdpf.rmse.mean(), 2)
           .cell(ne.rmse.mean(), 2);

@@ -13,30 +13,58 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description = "Ablation A5: resampling-scheme comparison for CPF/SDPF.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
 
+    const filters::ResamplingScheme schemes[] = {
+        filters::ResamplingScheme::kMultinomial,
+        filters::ResamplingScheme::kStratified,
+        filters::ResamplingScheme::kSystematic,
+        filters::ResamplingScheme::kResidual};
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCpf,
+                                        sim::AlgorithmKind::kSdpf};
+    constexpr std::size_t kSchemes = 4;
+    constexpr std::size_t kKinds = 2;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_resampling", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kSchemes * kKinds * options.trials, [&](std::size_t slot) {
+          const std::size_t cell = slot / options.trials;
+          sim::AlgorithmParams params;
+          params.cpf.resampling = schemes[cell / kKinds];
+          params.sdpf.resampling = schemes[cell / kKinds];
+          return sim::to_record(sim::run_trial(scenario, kinds[cell % kKinds],
+                                               params, options.seed,
+                                               slot % options.trials));
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+
     std::cout << "Ablation A5 — resampling scheme (density " << density << ", "
               << options.trials << " trials)\n";
     support::Table table({"scheme", "CPF RMSE (m)", "SDPF RMSE (m)"});
-    for (const filters::ResamplingScheme scheme :
-         {filters::ResamplingScheme::kMultinomial, filters::ResamplingScheme::kStratified,
-          filters::ResamplingScheme::kSystematic, filters::ResamplingScheme::kResidual}) {
-      sim::AlgorithmParams params;
-      params.cpf.resampling = scheme;
-      params.sdpf.resampling = scheme;
-      const auto cpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCpf, params,
-                               options.trials, options.seed, options.workers);
-      const auto sdpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kSdpf, params,
-                               options.trials, options.seed, options.workers);
+    for (std::size_t si = 0; si < kSchemes; ++si) {
+      const sim::MonteCarloResult cpf = sim::fold_monte_carlo(
+          *records, (si * kKinds + 0) * options.trials, options.trials);
+      const sim::MonteCarloResult sdpf = sim::fold_monte_carlo(
+          *records, (si * kKinds + 1) * options.trials, options.trials);
       auto row = table.row();
-      row.cell(std::string(filters::resampling_scheme_name(scheme)))
+      row.cell(std::string(filters::resampling_scheme_name(schemes[si])))
           .cell(cpf.rmse.mean(), 2)
           .cell(sdpf.rmse.mean(), 2);
       table.commit_row(row);

@@ -13,28 +13,54 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description = "Ablation A1: CDPF/CDPF-NE iteration-period sweep.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
+
+    const double steps[] = {1.0, 2.0, 5.0, 10.0};
+    const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCdpf,
+                                        sim::AlgorithmKind::kCdpfNe};
+    constexpr std::size_t kSteps = 4;
+    constexpr std::size_t kKinds = 2;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "ablation_timestep", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kSteps * kKinds * options.trials, [&](std::size_t slot) {
+          const std::size_t cell = slot / options.trials;
+          sim::AlgorithmParams params;
+          params.cdpf.dt = steps[cell / kKinds];
+          return sim::to_record(sim::run_trial(scenario, kinds[cell % kKinds],
+                                               params, options.seed,
+                                               slot % options.trials));
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
 
     std::cout << "Ablation A1 — CDPF/CDPF-NE iteration period (density " << density
               << ", " << options.trials << " trials)\n";
     support::Table table({"dt (s)", "CDPF RMSE (m)", "CDPF bytes", "CDPF-NE RMSE (m)",
                           "CDPF-NE bytes"});
-    for (const double dt : {1.0, 2.0, 5.0, 10.0}) {
-      sim::AlgorithmParams params;
-      params.cdpf.dt = dt;
-      const auto cdpf =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpf, params,
-                               options.trials, options.seed, options.workers);
-      const auto ne =
-          sim::run_monte_carlo(scenario, sim::AlgorithmKind::kCdpfNe, params,
-                               options.trials, options.seed, options.workers);
+    for (std::size_t di = 0; di < kSteps; ++di) {
+      const sim::MonteCarloResult cdpf = sim::fold_monte_carlo(
+          *records, (di * kKinds + 0) * options.trials, options.trials);
+      const sim::MonteCarloResult ne = sim::fold_monte_carlo(
+          *records, (di * kKinds + 1) * options.trials, options.trials);
       auto row = table.row();
-      row.cell(dt, 0)
+      row.cell(steps[di], 0)
           .cell(cdpf.rmse.mean(), 2)
           .cell(cdpf.total_bytes.mean(), 0)
           .cell(ne.rmse.mean(), 2)

@@ -1,109 +1,26 @@
-// Shared helpers for the figure/table reproduction benches: standard flags
-// (--trials, --seed, --densities, --workers, --csv, --json, --trace,
-// --metrics) and the density-sweep runner.
+// Shared reporting helpers for the figure/table reproduction benches.
+//
+// Flag parsing lives in sim::parse_cli_options and trial execution in
+// sim::ExperimentRunner (see src/sim/cli_options.hpp, src/sim/runspec.hpp);
+// what remains here is the output side: emitting the finished table to
+// stdout/CSV/cdpf-bench JSON, and the shard-mode epilogue.
 #pragma once
 
-#include <algorithm>
-#include <cstdint>
 #include <iostream>
-#include <memory>
-#include <optional>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "bench_report.hpp"
+#include "sim/cli_options.hpp"
 #include "sim/experiment.hpp"
-#include "sim/observability.hpp"
-#include "support/cli.hpp"
+#include "sim/runspec.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
-#include "support/thread_pool.hpp"
 
 namespace cdpf::bench {
 
-struct BenchOptions {
-  std::vector<double> densities{5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0};
-  std::size_t trials = 10;  // paper: ten repetitions with variable seeds
-  std::uint64_t seed = 20110516;  // IPDPS 2011 opening day
-  /// Monte Carlo worker threads; defaults to every hardware thread. Trials
-  /// give identical aggregates for any worker count (per-trial seed streams
-  /// plus order-fixed aggregation), so parallelism is safe to default on.
-  std::size_t workers = 1;
-  std::optional<std::string> csv_path;
-  /// When set, emit() appends a cdpf-bench/1 JSON report of the whole run.
-  std::optional<std::string> json_path;
-  /// Observability session honouring --trace / --metrics: constructed at
-  /// parse time, writes the requested files when the options go out of
-  /// scope at the end of the run. Null when neither flag was given.
-  std::shared_ptr<sim::ObservabilityScope> observability;
-  support::Stopwatch wall;  // started at parse time = whole-run wall clock
-};
-
-/// Default worker count: all hardware threads (hardware_concurrency may
-/// report 0 on exotic platforms; never go below 1).
-inline std::size_t default_workers() {
-  return std::max(1u, std::thread::hardware_concurrency());
-}
-
-/// Parse the standard bench flags; callers may query extra flags on the
-/// returned CliArgs before calling args.check_unknown().
-inline BenchOptions parse_common(support::CliArgs& args,
-                                 std::size_t default_trials = 10) {
-  BenchOptions options;
-  options.trials = default_trials;
-  options.workers = default_workers();
-  if (const auto d = args.get_double_list("densities")) {
-    options.densities = *d;
-  }
-  if (const auto t = args.get_int("trials")) {
-    options.trials = static_cast<std::size_t>(*t);
-  }
-  if (const auto s = args.get_int("seed")) {
-    options.seed = static_cast<std::uint64_t>(*s);
-  }
-  if (const auto w = args.get_int("workers")) {
-    options.workers = std::max<std::size_t>(1, static_cast<std::size_t>(*w));
-  }
-  options.csv_path = args.get_string("csv");
-  options.json_path = args.get_string("json");
-  const std::string trace_path = args.get_string("trace").value_or("");
-  const std::string metrics_path = args.get_string("metrics").value_or("");
-  if (!trace_path.empty() || !metrics_path.empty()) {
-    options.observability =
-        std::make_shared<sim::ObservabilityScope>(trace_path, metrics_path);
-  }
-  options.wall.reset();
-  return options;
-}
-
-/// Run `count` independent jobs — Monte Carlo trials or per-variant
-/// measurements — with `job(i)` producing slot i, distributed over
-/// `workers` threads when both exceed one. Each job writes only its own
-/// pre-sized slot and the caller folds the returned vector serially in
-/// ascending slot order, so every aggregate is identical for any worker
-/// count (the determinism contract of the batch compute plane; see
-/// DESIGN.md). `job` must be self-contained: derive the trial RNG from the
-/// slot index, never share mutable state across slots.
-template <typename Result, typename JobFn>
-std::vector<Result> run_slots_ordered(std::size_t count, std::size_t workers,
-                                      JobFn job) {
-  std::vector<Result> results(count);
-  auto run_one = [&](std::size_t i) { results[i] = job(i); };
-  if (workers > 1 && count > 1) {
-    support::ThreadPool pool(std::min(workers, count));
-    pool.parallel_for(count, run_one);
-  } else {
-    for (std::size_t i = 0; i < count; ++i) {
-      run_one(i);
-    }
-  }
-  return results;
-}
-
 /// Emit the finished table to stdout (ASCII) and optionally to CSV and to a
 /// cdpf-bench/1 JSON report (one entry covering the whole run).
-inline void emit(const support::Table& table, const BenchOptions& options,
+inline void emit(const support::Table& table, const sim::CliOptions& options,
                  const std::string& title) {
   std::cout << "\n== " << title << " ==\n" << table.to_ascii();
   if (options.csv_path) {
@@ -130,6 +47,26 @@ inline void emit(const support::Table& table, const BenchOptions& options,
                 << *options.json_path << "\n";
     }
   }
+}
+
+/// Canonical comma-joined rendering of a numeric sweep list for RunSpec
+/// config digests (shards of runs over different sweeps must not fuse).
+inline std::string config_list(const std::vector<double>& values) {
+  std::string out;
+  for (const double v : values) {
+    out += out.empty() ? "" : ",";
+    out += support::format_double(v, 6);
+  }
+  return out;
+}
+
+/// Shard-mode epilogue: the runner wrote its snapshot instead of producing
+/// records; tell the user where it went and how to finish the run.
+inline void announce_snapshot(const sim::ExperimentRunner& runner) {
+  std::cout << "Shard " << runner.spec().shard.to_string()
+            << " complete; snapshot written to " << runner.snapshot_path()
+            << "\nFuse all shards with --merge=<snapshots> (or "
+               "tools/shard_merge.py) to get the full table.\n";
 }
 
 }  // namespace cdpf::bench

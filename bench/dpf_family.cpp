@@ -16,17 +16,23 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description =
+        "Compression-family DPF baselines (DPF, GMM-DPF) vs CDPF/CDPF-NE.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
     const sim::AlgorithmParams params;
 
-    std::cout << "DPF family comparison (density " << density << ", "
-              << options.trials << " trials)\n";
-    support::Table table({"algorithm", "family", "RMSE (m)", "bytes", "messages"});
     struct Entry {
       sim::AlgorithmKind kind;
       const char* family;
@@ -39,13 +45,31 @@ int main(int argc, char** argv) {
         {sim::AlgorithmKind::kCdpf, "completely distributed"},
         {sim::AlgorithmKind::kCdpfNe, "completely distributed"},
     };
-    for (const Entry& e : entries) {
+    constexpr std::size_t kEntries = 6;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "dpf_family", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kEntries * options.trials, [&](std::size_t slot) {
+          return sim::to_record(sim::run_trial(scenario,
+                                               entries[slot / options.trials].kind,
+                                               params, options.seed,
+                                               slot % options.trials));
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+
+    std::cout << "DPF family comparison (density " << density << ", "
+              << options.trials << " trials)\n";
+    support::Table table({"algorithm", "family", "RMSE (m)", "bytes", "messages"});
+    for (std::size_t i = 0; i < kEntries; ++i) {
       const sim::MonteCarloResult r =
-          sim::run_monte_carlo(scenario, e.kind, params, options.trials, options.seed,
-                               options.workers);
+          sim::fold_monte_carlo(*records, i * options.trials, options.trials);
       auto row = table.row();
-      row.cell(std::string(sim::algorithm_name(e.kind)))
-          .cell(e.family)
+      row.cell(std::string(sim::algorithm_name(entries[i].kind)))
+          .cell(entries[i].family)
           .cell(r.rmse.mean(), 2)
           .cell(r.total_bytes.mean(), 0)
           .cell(r.total_messages.mean(), 0);

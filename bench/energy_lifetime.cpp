@@ -14,35 +14,40 @@ namespace {
 
 using namespace cdpf;
 
+/// One energy trial, recorded as [total mJ, hotspot uJ, RMSE].
+sim::SlotRecord energy_trial(sim::AlgorithmKind kind, const sim::Scenario& scenario,
+                             std::uint64_t seed, std::size_t trial) {
+  rng::Rng rng(rng::derive_stream_seed(seed, trial));
+  wsn::Network network = sim::build_network(scenario, rng);
+  wsn::EnergyModel energy(network.size(), wsn::EnergyParams{});
+  wsn::Radio radio(network, scenario.payloads, &energy);
+  const tracking::Trajectory trajectory =
+      tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+  const sim::AlgorithmParams params;
+  auto tracker = sim::make_tracker(kind, network, radio, params);
+  const sim::RunOutcome outcome = sim::run_tracking(*tracker, trajectory, rng);
+  sim::SlotRecord record;
+  record.values = {energy.total_consumed_uj() / 1000.0, energy.max_consumed_uj(),
+                   outcome.rmse()};
+  return record;
+}
+
 struct EnergyOutcome {
   double total_mj = 0.0;
   double hotspot_uj = 0.0;
   double rmse = 0.0;
 };
 
-EnergyOutcome run(sim::AlgorithmKind kind, const sim::Scenario& scenario,
-                  std::size_t trials, std::uint64_t seed, std::size_t workers) {
-  // One slot per trial, summed in trial order — identical for any worker
-  // count.
-  const std::vector<EnergyOutcome> slots = bench::run_slots_ordered<EnergyOutcome>(
-      trials, workers, [&](std::size_t t) {
-        rng::Rng rng(rng::derive_stream_seed(seed, t));
-        wsn::Network network = sim::build_network(scenario, rng);
-        wsn::EnergyModel energy(network.size(), wsn::EnergyParams{});
-        wsn::Radio radio(network, scenario.payloads, &energy);
-        const tracking::Trajectory trajectory =
-            tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
-        const sim::AlgorithmParams params;
-        auto tracker = sim::make_tracker(kind, network, radio, params);
-        const sim::RunOutcome outcome = sim::run_tracking(*tracker, trajectory, rng);
-        return EnergyOutcome{energy.total_consumed_uj() / 1000.0,
-                             energy.max_consumed_uj(), outcome.rmse()};
-      });
+/// Fold one algorithm's trials in slot order — identical for any worker
+/// count or shard split.
+EnergyOutcome fold_energy(const std::vector<sim::SlotRecord>& records,
+                          std::size_t offset, std::size_t trials) {
   EnergyOutcome out;
-  for (const EnergyOutcome& slot : slots) {
-    out.total_mj += slot.total_mj;
-    out.hotspot_uj += slot.hotspot_uj;
-    out.rmse += slot.rmse;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const std::vector<double>& v = records[offset + t].values;
+    out.total_mj += v[0];
+    out.hotspot_uj += v[1];
+    out.rmse += v[2];
   }
   const double n = static_cast<double>(trials);
   out.total_mj /= n;
@@ -57,22 +62,42 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 3);
+    sim::CliSpec spec;
+    spec.description = "Radio energy per tracking run (first-order radio model).";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 3;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
+    constexpr std::size_t kAlgorithms = std::size(sim::kAllAlgorithms);
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "energy_lifetime", {{"density", support::format_double(density, 6)}}));
+    const auto records =
+        runner.run(kAlgorithms * options.trials, [&](std::size_t slot) {
+          return energy_trial(sim::kAllAlgorithms[slot / options.trials], scenario,
+                              options.seed, slot % options.trials);
+        });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
 
     std::cout << "Radio energy per tracking run (density " << density << ", "
               << options.trials << " trials; first-order radio model)\n";
     support::Table table({"algorithm", "total (mJ)", "hotspot node (uJ)",
                           "runs per 1 J hotspot budget", "RMSE (m)"});
-    for (const sim::AlgorithmKind kind : sim::kAllAlgorithms) {
-      const EnergyOutcome e =
-          run(kind, scenario, options.trials, options.seed, options.workers);
+    for (std::size_t i = 0; i < kAlgorithms; ++i) {
+      const EnergyOutcome e = fold_energy(*records, i * options.trials, options.trials);
       auto row = table.row();
-      row.cell(std::string(sim::algorithm_name(kind)))
+      row.cell(std::string(sim::algorithm_name(sim::kAllAlgorithms[i])))
           .cell(e.total_mj, 2)
           .cell(e.hotspot_uj, 1)
           .cell(e.hotspot_uj > 0.0 ? 1e6 / e.hotspot_uj : 0.0, 0)

@@ -18,9 +18,10 @@ namespace {
 
 using namespace cdpf;
 
-std::map<int, core::TimedEstimate> run_one(sim::AlgorithmKind kind,
-                                           const sim::Scenario& scenario,
-                                           std::uint64_t seed) {
+/// One filter's estimate series, flattened for the shard snapshot as
+/// (rounded time, x, y) triples in time order.
+sim::SlotRecord run_one(sim::AlgorithmKind kind, const sim::Scenario& scenario,
+                        std::uint64_t seed) {
   // Same trial index => identical deployment and trajectory for both
   // algorithms, exactly like the paper's single-run figure.
   const sim::TrialResult result =
@@ -29,7 +30,23 @@ std::map<int, core::TimedEstimate> run_one(sim::AlgorithmKind kind,
   for (const sim::ScoredEstimate& s : result.outcome.scored) {
     by_time[static_cast<int>(s.estimate.time + 0.5)] = s.estimate;
   }
-  return by_time;
+  sim::SlotRecord record;
+  record.values.reserve(3 * by_time.size());
+  for (const auto& [t, est] : by_time) {
+    record.values.push_back(static_cast<double>(t));
+    record.values.push_back(est.state.position.x);
+    record.values.push_back(est.state.position.y);
+  }
+  return record;
+}
+
+std::map<int, geom::Vec2> to_series(const sim::SlotRecord& record) {
+  std::map<int, geom::Vec2> series;
+  for (std::size_t i = 0; i + 2 < record.values.size(); i += 3) {
+    series[static_cast<int>(record.values[i])] = {record.values[i + 1],
+                                                  record.values[i + 2]};
+  }
+  return series;
 }
 
 }  // namespace
@@ -38,29 +55,43 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    bench::BenchOptions options = bench::parse_common(args);
+    sim::CliSpec spec;
+    spec.description =
+        "Figure 4 reproduction: one run's trajectory vs CDPF / CDPF-NE estimates.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
-
-    // The reference trajectory of the shared trial.
-    rng::Rng rng(rng::derive_stream_seed(options.seed, 0));
-    (void)sim::build_network(scenario, rng);  // consume the deployment draws
-    const tracking::Trajectory trajectory =
-        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
 
     // The two filters replay the same trial independently; with --workers>1
     // they run concurrently, and the slot order keeps output identical.
     const sim::AlgorithmKind kinds[] = {sim::AlgorithmKind::kCdpf,
                                         sim::AlgorithmKind::kCdpfNe};
-    const auto runs =
-        bench::run_slots_ordered<std::map<int, core::TimedEstimate>>(
-            2, options.workers,
-            [&](std::size_t i) { return run_one(kinds[i], scenario, options.seed); });
-    const auto& cdpf = runs[0];
-    const auto& ne = runs[1];
+    sim::ExperimentRunner runner(options.run_spec(
+        "fig4", {{"density", support::format_double(density, 6)}}));
+    const auto records = runner.run(2, [&](std::size_t i) {
+      return run_one(kinds[i], scenario, options.seed);
+    });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+    const std::map<int, geom::Vec2> cdpf = to_series((*records)[0]);
+    const std::map<int, geom::Vec2> ne = to_series((*records)[1]);
+
+    // The reference trajectory of the shared trial, recomputed from the
+    // seed (deterministic, so identical in compute and merge mode).
+    rng::Rng rng(rng::derive_stream_seed(options.seed, 0));
+    (void)sim::build_network(scenario, rng);  // consume the deployment draws
+    const tracking::Trajectory trajectory =
+        tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
 
     std::cout << "Figure 4 — estimation example (density " << density
               << " nodes/100m^2, one run)\n";
@@ -74,19 +105,19 @@ int main(int argc, char** argv) {
         continue;
       }
       const tracking::TargetState truth = trajectory.at_time(t);
-      const double e1 = geom::distance(est.state.position, truth.position);
-      const double e2 = geom::distance(it->second.state.position, truth.position);
+      const double e1 = geom::distance(est, truth.position);
+      const double e2 = geom::distance(it->second, truth.position);
       cdpf_err.add(e1);
       ne_err.add(e2);
       auto row = table.row();
       row.cell(static_cast<long long>(t))
           .cell(truth.position.x, 2)
           .cell(truth.position.y, 2)
-          .cell(est.state.position.x, 2)
-          .cell(est.state.position.y, 2)
+          .cell(est.x, 2)
+          .cell(est.y, 2)
           .cell(e1, 2)
-          .cell(it->second.state.position.x, 2)
-          .cell(it->second.state.position.y, 2)
+          .cell(it->second.x, 2)
+          .cell(it->second.y, 2)
           .cell(e2, 2);
       table.commit_row(row);
     }
@@ -105,10 +136,10 @@ int main(int argc, char** argv) {
     support::AsciiPlot plot(0.0, 160.0, y_lo - 8.0, y_hi + 8.0, 100, 24);
     plot.polyline(truth_line, '.');
     for (const auto& [t, est] : cdpf) {
-      plot.point(est.state.position.x, est.state.position.y, 'o');
+      plot.point(est.x, est.y, 'o');
     }
     for (const auto& [t, est] : ne) {
-      plot.point(est.state.position.x, est.state.position.y, 'x');
+      plot.point(est.x, est.y, 'x');
     }
     std::cout << "\n'.' real trajectory   'o' CDPF estimate   'x' CDPF-NE estimate\n"
               << plot.render();

@@ -6,6 +6,7 @@
 // target — and it bounds what any distributed scheme can hope for.
 //
 //   ./parametric_baselines [--density=20] [--trials=5]
+#include <cmath>
 #include <iostream>
 #include <memory>
 
@@ -28,41 +29,31 @@ struct Estimator {
   std::function<tracking::TargetState()> estimate;
 };
 
-double run(const sim::Scenario& scenario, std::uint64_t seed, std::size_t trials,
-           std::size_t workers, const std::function<Estimator(rng::Rng&)>& make) {
-  // One slot per trial (each trial owns its RNG stream, network, and
-  // estimator), folded in trial order — identical for any worker count.
-  const std::vector<double> slots = bench::run_slots_ordered<double>(
-      trials, workers, [&](std::size_t t) {
-        rng::Rng rng(rng::derive_stream_seed(seed, t));
-        wsn::Network network = sim::build_network(scenario, rng);
-        const tracking::Trajectory trajectory =
-            tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
-        const tracking::BearingMeasurementModel bearing(0.05);
-        Estimator estimator = make(rng);
+double run_estimator_trial(const sim::Scenario& scenario, std::uint64_t seed,
+                           std::size_t trial,
+                           const std::function<Estimator(rng::Rng&)>& make) {
+  rng::Rng rng(rng::derive_stream_seed(seed, trial));
+  wsn::Network network = sim::build_network(scenario, rng);
+  const tracking::Trajectory trajectory =
+      tracking::generate_random_turn_trajectory(scenario.trajectory, rng);
+  const tracking::BearingMeasurementModel bearing(0.05);
+  Estimator estimator = make(rng);
 
-        support::RunningStats sq_errors;
-        for (double time = 1.0; time <= trajectory.duration() + 1e-9; time += 1.0) {
-          const tracking::TargetState truth = trajectory.at_time(time);
-          estimator.predict();
-          std::vector<filters::BearingObservation> observations;
-          for (const wsn::NodeId id : network.detecting_nodes(truth.position)) {
-            observations.push_back(
-                {network.position(id),
-                 bearing.measure(network.position(id), truth.position, rng)});
-          }
-          estimator.update(observations, rng);
-          const double e =
-              geom::distance(estimator.estimate().position, truth.position);
-          sq_errors.add(e * e);
-        }
-        return std::sqrt(sq_errors.mean());
-      });
-  support::RunningStats rmse;
-  for (const double slot : slots) {
-    rmse.add(slot);
+  support::RunningStats sq_errors;
+  for (double time = 1.0; time <= trajectory.duration() + 1e-9; time += 1.0) {
+    const tracking::TargetState truth = trajectory.at_time(time);
+    estimator.predict();
+    std::vector<filters::BearingObservation> observations;
+    for (const wsn::NodeId id : network.detecting_nodes(truth.position)) {
+      observations.push_back(
+          {network.position(id),
+           bearing.measure(network.position(id), truth.position, rng)});
+    }
+    estimator.update(observations, rng);
+    const double e = geom::distance(estimator.estimate().position, truth.position);
+    sq_errors.add(e * e);
   }
-  return rmse.mean();
+  return std::sqrt(sq_errors.mean());
 }
 
 }  // namespace
@@ -71,50 +62,21 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const bench::BenchOptions options = bench::parse_common(args, 5);
+    sim::CliSpec spec;
+    spec.description =
+        "Parametric (EKF/UKF) vs Monte-Carlo estimators, centralized data.";
+    spec.extra = {{"--density=20", "dense-scenario node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.default_trials = 5;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     const tracking::TargetState prior{{0.0, 100.0}, {3.0, 0.0}};
     const linalg::Mat<4, 4> p0 = linalg::Mat<4, 4>::identity() * 25.0;
-
-    std::cout << "Parametric vs Monte-Carlo estimators, all measurements"
-                 " centralized (" << options.trials << " trials). Dense = "
-              << density << " nodes/100m^2 (tens of bearings per step);"
-                 " sparse = 0.5 (detection gaps, multimodal posterior).\n";
-    support::Table table({"estimator", "dense RMSE (m)", "sparse RMSE (m)"});
-
-    sim::Scenario dense_scenario;
-    dense_scenario.density_per_100m2 = density;
-    sim::Scenario sparse_scenario;
-    sparse_scenario.density_per_100m2 = 0.5;
-
-    auto add = [&](const char* name, const std::function<Estimator(rng::Rng&)>& make) {
-      auto row = table.row();
-      row.cell(name)
-          .cell(run(dense_scenario, options.seed, options.trials, options.workers,
-                    make),
-                2)
-          .cell(run(sparse_scenario, options.seed, options.trials, options.workers,
-                    make),
-                2);
-      table.commit_row(row);
-    };
-
-    add("EKF (linearized)", [&](rng::Rng&) {
-      auto ekf = std::make_shared<filters::BearingsOnlyEkf>(
-          tracking::ConstantVelocityModel(1.0, 0.6, 0.6), 0.05, prior, p0);
-      return Estimator{[ekf] { ekf->predict(); },
-                       [ekf](const auto& obs, rng::Rng&) { ekf->update(obs); },
-                       [ekf] { return ekf->estimate(); }};
-    });
-    add("UKF (unscented)", [&](rng::Rng&) {
-      auto ukf = std::make_shared<filters::BearingsOnlyUkf>(
-          tracking::ConstantVelocityModel(1.0, 0.6, 0.6), 0.05, prior, p0);
-      return Estimator{[ukf] { ukf->predict(); },
-                       [ukf](const auto& obs, rng::Rng&) { ukf->update(obs); },
-                       [ukf] { return ukf->estimate(); }};
-    });
 
     const tracking::BearingMeasurementModel bearing(0.05);
     auto log_likelihood = [bearing](const std::vector<filters::BearingObservation>& obs,
@@ -129,42 +91,108 @@ int main(int argc, char** argv) {
       return ll;
     };
 
-    add("SIR PF (1000 particles)", [&](rng::Rng& rng) {
-      filters::SirFilterConfig config;
-      auto pf = std::make_shared<filters::SirFilter>(
-          tracking::make_motion_model({}, 1.0), config);
-      pf->initialize(prior, {5.0, 5.0}, {1.0, 1.0}, rng);
-      return Estimator{
-          [pf]() {},
-          [pf, log_likelihood](const auto& obs, rng::Rng& rng2) {
-            pf->predict(rng2);
-            if (!obs.empty()) {
-              pf->update([&](const tracking::TargetState& s) {
-                return log_likelihood(obs, s);
-              });
-              pf->maybe_resample(rng2);
-            }
-          },
-          [pf] { return pf->estimate(); }};
+    struct Baseline {
+      const char* name;
+      std::function<Estimator(rng::Rng&)> make;
+    };
+    const std::vector<Baseline> baselines = {
+        {"EKF (linearized)",
+         [&](rng::Rng&) {
+           auto ekf = std::make_shared<filters::BearingsOnlyEkf>(
+               tracking::ConstantVelocityModel(1.0, 0.6, 0.6), 0.05, prior, p0);
+           return Estimator{[ekf] { ekf->predict(); },
+                            [ekf](const auto& obs, rng::Rng&) { ekf->update(obs); },
+                            [ekf] { return ekf->estimate(); }};
+         }},
+        {"UKF (unscented)",
+         [&](rng::Rng&) {
+           auto ukf = std::make_shared<filters::BearingsOnlyUkf>(
+               tracking::ConstantVelocityModel(1.0, 0.6, 0.6), 0.05, prior, p0);
+           return Estimator{[ukf] { ukf->predict(); },
+                            [ukf](const auto& obs, rng::Rng&) { ukf->update(obs); },
+                            [ukf] { return ukf->estimate(); }};
+         }},
+        {"SIR PF (1000 particles)",
+         [&](rng::Rng& rng) {
+           filters::SirFilterConfig config;
+           auto pf = std::make_shared<filters::SirFilter>(
+               tracking::make_motion_model({}, 1.0), config);
+           pf->initialize(prior, {5.0, 5.0}, {1.0, 1.0}, rng);
+           return Estimator{
+               [pf]() {},
+               [pf, log_likelihood](const auto& obs, rng::Rng& rng2) {
+                 pf->predict(rng2);
+                 if (!obs.empty()) {
+                   pf->update([&](const tracking::TargetState& s) {
+                     return log_likelihood(obs, s);
+                   });
+                   pf->maybe_resample(rng2);
+                 }
+               },
+               [pf] { return pf->estimate(); }};
+         }},
+        {"Auxiliary PF (1000 particles)",
+         [&](rng::Rng& rng) {
+           auto apf = std::make_shared<filters::AuxiliaryParticleFilter>(
+               tracking::make_motion_model({}, 1.0), filters::AuxiliaryFilterConfig{});
+           apf->initialize(prior, {5.0, 5.0}, {1.0, 1.0}, rng);
+           return Estimator{
+               [apf]() {},
+               [apf, log_likelihood](const auto& obs, rng::Rng& rng2) {
+                 if (obs.empty()) {
+                   apf->predict_only(rng2);
+                 } else {
+                   apf->step([&](const tracking::TargetState& s) {
+                     return log_likelihood(obs, s);
+                   },
+                             rng2);
+                 }
+               },
+               [apf] { return apf->estimate(); }};
+         }}};
+
+    sim::Scenario dense_scenario;
+    dense_scenario.density_per_100m2 = density;
+    sim::Scenario sparse_scenario;
+    sparse_scenario.density_per_100m2 = 0.5;
+    const sim::Scenario* scenarios[] = {&dense_scenario, &sparse_scenario};
+    constexpr std::size_t kScenarios = 2;
+    const std::size_t cells = baselines.size() * kScenarios;
+
+    sim::ExperimentRunner runner(options.run_spec(
+        "parametric_baselines", {{"density", support::format_double(density, 6)}}));
+    const auto records = runner.run(cells * options.trials, [&](std::size_t slot) {
+      const std::size_t cell = slot / options.trials;
+      sim::SlotRecord record;
+      record.values = {run_estimator_trial(*scenarios[cell % kScenarios],
+                                           options.seed, slot % options.trials,
+                                           baselines[cell / kScenarios].make)};
+      return record;
     });
-    add("Auxiliary PF (1000 particles)", [&](rng::Rng& rng) {
-      auto apf = std::make_shared<filters::AuxiliaryParticleFilter>(
-          tracking::make_motion_model({}, 1.0), filters::AuxiliaryFilterConfig{});
-      apf->initialize(prior, {5.0, 5.0}, {1.0, 1.0}, rng);
-      return Estimator{
-          [apf]() {},
-          [apf, log_likelihood](const auto& obs, rng::Rng& rng2) {
-            if (obs.empty()) {
-              apf->predict_only(rng2);
-            } else {
-              apf->step([&](const tracking::TargetState& s) {
-                return log_likelihood(obs, s);
-              },
-                        rng2);
-            }
-          },
-          [apf] { return apf->estimate(); }};
-    });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
+
+    std::cout << "Parametric vs Monte-Carlo estimators, all measurements"
+                 " centralized (" << options.trials << " trials). Dense = "
+              << density << " nodes/100m^2 (tens of bearings per step);"
+                 " sparse = 0.5 (detection gaps, multimodal posterior).\n";
+    support::Table table({"estimator", "dense RMSE (m)", "sparse RMSE (m)"});
+    for (std::size_t bi = 0; bi < baselines.size(); ++bi) {
+      double rmse[kScenarios] = {};
+      for (std::size_t si = 0; si < kScenarios; ++si) {
+        support::RunningStats stats;
+        const std::size_t offset = (bi * kScenarios + si) * options.trials;
+        for (std::size_t t = 0; t < options.trials; ++t) {
+          stats.add((*records)[offset + t].values[0]);
+        }
+        rmse[si] = stats.mean();
+      }
+      auto row = table.row();
+      row.cell(baselines[bi].name).cell(rmse[0], 2).cell(rmse[1], 2);
+      table.commit_row(row);
+    }
 
     bench::emit(table, options, "Parametric baselines");
     std::cout << "\nFinding: with tens of simultaneous bearings the per-step"

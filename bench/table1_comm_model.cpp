@@ -22,17 +22,13 @@ namespace {
 
 using namespace cdpf;
 
-struct MeasuredIteration {
-  std::size_t bytes = 0;
-  std::size_t messages = 0;
-  std::size_t particles = 0;  // N or N_s of the paper's expressions
-  wsn::CommStats comm;        // the whole run's accounting, for --metrics
-};
-
-/// Run algorithm `kind` for two iterations and return the second (steady
-/// state) iteration's communication plus its particle population.
-MeasuredIteration measure(sim::AlgorithmKind kind, const sim::Scenario& scenario,
-                          std::uint64_t seed) {
+/// Run algorithm `kind` for two iterations and record the second (steady
+/// state) iteration's communication plus its particle population as
+/// [bytes, messages, particles]. The whole run's accounting additionally
+/// goes to the metrics registry (compute mode only; a merge run has no
+/// radio activity to account).
+sim::SlotRecord measure(sim::AlgorithmKind kind, const sim::Scenario& scenario,
+                        std::uint64_t seed) {
   rng::Rng rng(rng::derive_stream_seed(seed, 7));
   wsn::Network network = sim::build_network(scenario, rng);
   wsn::Radio radio(network, scenario.payloads);
@@ -45,22 +41,28 @@ MeasuredIteration measure(sim::AlgorithmKind kind, const sim::Scenario& scenario
   const std::size_t bytes0 = radio.stats().total_bytes();
   const std::size_t msgs0 = radio.stats().total_messages();
 
-  MeasuredIteration m;
   // Population entering the second iteration (the N_s that broadcasts).
+  std::size_t particles = 0;
   if (kind == sim::AlgorithmKind::kSdpf) {
-    m.particles = dynamic_cast<core::Sdpf*>(tracker.get())->particles().particle_count();
+    particles = dynamic_cast<core::Sdpf*>(tracker.get())->particles().particle_count();
   } else if (kind == sim::AlgorithmKind::kCdpf || kind == sim::AlgorithmKind::kCdpfNe) {
-    m.particles = dynamic_cast<core::Cdpf*>(tracker.get())->particles().size();
+    particles = dynamic_cast<core::Cdpf*>(tracker.get())->particles().size();
   } else {
-    m.particles = network.detecting_nodes(t0.position).size();  // N measuring
+    particles = network.detecting_nodes(t0.position).size();  // N measuring
   }
 
   const tracking::TargetState t1{{50.0 + 3.0 * dt, 60.0}, {3.0, 0.0}};
   tracker->iterate(t1, dt, rng);
-  m.bytes = radio.stats().total_bytes() - bytes0;
-  m.messages = radio.stats().total_messages() - msgs0;
-  m.comm = radio.stats();
-  return m;
+  // This bench drives trackers directly (no run_tracking), so fold the
+  // accounting into the metrics registry here. Counter adds commute, so
+  // the --metrics snapshot is identical for any --workers value.
+  sim::observe_comm(radio.stats());
+
+  sim::SlotRecord record;
+  record.values = {static_cast<double>(radio.stats().total_bytes() - bytes0),
+                   static_cast<double>(radio.stats().total_messages() - msgs0),
+                   static_cast<double>(particles)};
+  return record;
 }
 
 }  // namespace
@@ -69,13 +71,37 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    bench::BenchOptions options = bench::parse_common(args);
+    sim::CliSpec spec;
+    spec.description =
+        "Table I reproduction: analyzed vs measured per-iteration costs.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return 0;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;
     const wsn::PayloadSizes& p = scenario.payloads;
+
+    // The five measurements replay the same deployment independently; with
+    // --workers>1 they run concurrently, and slot order keeps the table
+    // identical for any worker count.
+    const sim::AlgorithmKind kinds[] = {
+        sim::AlgorithmKind::kCpf, sim::AlgorithmKind::kDpf, sim::AlgorithmKind::kSdpf,
+        sim::AlgorithmKind::kCdpf, sim::AlgorithmKind::kCdpfNe};
+    sim::ExperimentRunner runner(options.run_spec(
+        "table1", {{"density", support::format_double(density, 6)}}));
+    const auto records = runner.run(5, [&](std::size_t i) {
+      return measure(kinds[i], scenario, options.seed);
+    });
+    if (!records) {
+      bench::announce_snapshot(runner);
+      return 0;
+    }
 
     std::cout << "Table I — analyzed vs measured per-iteration communication"
                  " costs (density " << density << " nodes/100m^2, D_p=" << p.particle
@@ -84,7 +110,8 @@ int main(int argc, char** argv) {
     support::Table table({"method", "analyzed expression", "analyzed (B)",
                           "measured (B)", "measured msgs", "N / N_s"});
 
-    // Mean hop count to the sink for the centralized rows.
+    // Mean hop count to the sink for the centralized rows, recomputed from
+    // the seed (deterministic, so identical in compute and merge mode).
     std::size_t mean_hops = 0;
     {
       rng::Rng rng(rng::derive_stream_seed(options.seed, 7));
@@ -101,39 +128,28 @@ int main(int argc, char** argv) {
       mean_hops = count > 0 ? (total + count / 2) / count : 0;
     }
 
-    // The five measurements replay the same deployment independently; with
-    // --workers>1 they run concurrently, and slot order keeps the table
-    // identical for any worker count.
-    const sim::AlgorithmKind kinds[] = {
-        sim::AlgorithmKind::kCpf, sim::AlgorithmKind::kDpf, sim::AlgorithmKind::kSdpf,
-        sim::AlgorithmKind::kCdpf, sim::AlgorithmKind::kCdpfNe};
-    const auto measured = bench::run_slots_ordered<MeasuredIteration>(
-        5, options.workers,
-        [&](std::size_t i) { return measure(kinds[i], scenario, options.seed); });
-    // This bench drives trackers directly (no run_tracking), so fold the
-    // accounting into the metrics registry here, in slot order: the
-    // --metrics snapshot is bitwise identical for any --workers value.
-    for (const MeasuredIteration& m : measured) {
-      sim::observe_comm(m.comm);
-    }
-    const auto& cpf = measured[0];
-    const auto& dpf = measured[1];
-    const auto& sdpf = measured[2];
-    const auto& cdpf = measured[3];
-    const auto& ne = measured[4];
-
     auto add = [&](const std::string& name, const std::string& expr,
-                   std::size_t analyzed, const MeasuredIteration& m) {
+                   std::size_t analyzed, const sim::SlotRecord& m) {
       auto row = table.row();
-      row.cell(name).cell(expr).cell(analyzed).cell(m.bytes).cell(m.messages)
-          .cell(m.particles);
+      row.cell(name).cell(expr).cell(analyzed)
+          .cell(static_cast<std::size_t>(m.values[0]))
+          .cell(static_cast<std::size_t>(m.values[1]))
+          .cell(static_cast<std::size_t>(m.values[2]));
       table.commit_row(row);
     };
-    add("CPF", "N * D_m * H", core::table1_cpf(cpf.particles, mean_hops, p), cpf);
-    add("DPF", "N * P * H", core::table1_dpf(dpf.particles, mean_hops, p), dpf);
-    add("SDPF", "N_s (D_p + D_m + 2 D_w)", core::table1_sdpf(sdpf.particles, p), sdpf);
-    add("CDPF", "N_s (D_p + D_m + D_w)", core::table1_cdpf(cdpf.particles, p), cdpf);
-    add("CDPF-NE", "N_s (D_p + D_w)", core::table1_cdpf_ne(ne.particles, p), ne);
+    const auto particles_of = [&](std::size_t i) {
+      return static_cast<std::size_t>((*records)[i].values[2]);
+    };
+    add("CPF", "N * D_m * H", core::table1_cpf(particles_of(0), mean_hops, p),
+        (*records)[0]);
+    add("DPF", "N * P * H", core::table1_dpf(particles_of(1), mean_hops, p),
+        (*records)[1]);
+    add("SDPF", "N_s (D_p + D_m + 2 D_w)", core::table1_sdpf(particles_of(2), p),
+        (*records)[2]);
+    add("CDPF", "N_s (D_p + D_m + D_w)", core::table1_cdpf(particles_of(3), p),
+        (*records)[3]);
+    add("CDPF-NE", "N_s (D_p + D_w)", core::table1_cdpf_ne(particles_of(4), p),
+        (*records)[4]);
 
     bench::emit(table, options, "Table I");
     std::cout << "\nNotes: analyzed columns use each algorithm's own measured"

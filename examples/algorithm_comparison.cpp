@@ -7,32 +7,39 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "sim/cli_options.hpp"
 #include "sim/experiment.hpp"
-#include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    std::vector<double> densities{5.0, 20.0, 40.0};
-    if (const auto d = args.get_double_list("densities")) {
-      densities = *d;
-    }
-    const auto trials = static_cast<std::size_t>(args.get_int("trials").value_or(5));
-    const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(1));
+    sim::CliSpec spec;
+    spec.description =
+        "All five algorithms, accuracy and communication, per density.";
+    spec.extra = {{"--csv=out.csv", "write the result table as CSV"}};
+    spec.sharding = false;
+    spec.reports = false;
+    spec.default_trials = 5;
+    spec.default_seed = 1;
+    spec.default_densities = {5.0, 20.0, 40.0};
+    const sim::CliOptions options = sim::parse_cli_options(args, spec);
     const auto csv = args.get_string("csv");
     args.check_unknown();
+    if (options.help) {
+      return EXIT_SUCCESS;
+    }
 
     support::Table table({"density", "algorithm", "RMSE (m)", "mean err (m)",
                           "bytes", "messages"});
     const sim::AlgorithmParams params;
-    for (const double density : densities) {
+    for (const double density : options.densities) {
       sim::Scenario scenario;
       scenario.density_per_100m2 = density;
       for (const sim::AlgorithmKind kind : sim::kAllAlgorithms) {
-        const sim::MonteCarloResult r =
-            sim::run_monte_carlo(scenario, kind, params, trials, seed);
+        const sim::MonteCarloResult r = sim::run_monte_carlo(
+            scenario, kind, params, options.trials, options.seed, options.workers);
         auto row = table.row();
         row.cell(density, 0)
             .cell(std::string(sim::algorithm_name(kind)))
@@ -43,7 +50,8 @@ int main(int argc, char** argv) {
         table.commit_row(row);
       }
     }
-    std::cout << "Algorithm comparison (" << trials << " trials per point)\n\n"
+    std::cout << "Algorithm comparison (" << options.trials
+              << " trials per point)\n\n"
               << table.to_ascii();
     if (csv) {
       table.write_csv(*csv);

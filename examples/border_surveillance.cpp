@@ -6,14 +6,15 @@
 // distributed filtering in the first place.
 //
 //   ./border_surveillance [--density=20] [--awake=0.3] [--seed=7]
+//                         [--trace=out.json] [--metrics=out.json]
 #include <cstdlib>
 #include <iostream>
 #include <memory>
 
 #include "core/cdpf.hpp"
+#include "sim/cli_options.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
-#include "support/cli.hpp"
 #include "support/table.hpp"
 #include "wsn/duty_cycle.hpp"
 #include "wsn/energy.hpp"
@@ -22,10 +23,24 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
+    sim::CliSpec spec;
+    spec.description =
+        "Duty-cycled border strip: CDPF + TDSS wake-up, energy picture.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"},
+                  {"--awake=0.3", "duty-cycle awake fraction"},
+                  {"--seed=7", "root seed"}};
+    spec.sweep = false;
+    spec.monte_carlo = false;
+    spec.sharding = false;
+    spec.reports = false;
+    const sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     const double awake = args.get_double("awake").value_or(0.3);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(7));
     args.check_unknown();
+    if (options.help) {
+      return EXIT_SUCCESS;
+    }
 
     // 1. Deploy the field and attach an energy meter to the radio.
     sim::Scenario scenario;

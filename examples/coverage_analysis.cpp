@@ -5,13 +5,14 @@
 // drive CDPF's particle population, and (c) end-to-end CDPF accuracy.
 //
 //   ./coverage_analysis [--density=10] [--seed=11]
+//                       [--trace=out.json] [--metrics=out.json]
 #include <cstdlib>
 #include <iostream>
 
 #include "core/cdpf.hpp"
+#include "sim/cli_options.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
-#include "support/cli.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 #include "wsn/deployment.hpp"
@@ -61,9 +62,22 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
+    sim::CliSpec spec;
+    spec.description =
+        "Deployment strategies vs corridor coverage and CDPF accuracy.";
+    spec.extra = {{"--density=10", "node density per 100 m^2"},
+                  {"--seed=11", "root seed"}};
+    spec.sweep = false;
+    spec.monte_carlo = false;
+    spec.sharding = false;
+    spec.reports = false;
+    const sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(10.0);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(11));
     args.check_unknown();
+    if (options.help) {
+      return EXIT_SUCCESS;
+    }
 
     const geom::Aabb field = geom::Aabb::square(200.0);
     const std::size_t count = wsn::node_count_for_density(density, field);

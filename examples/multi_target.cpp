@@ -4,6 +4,7 @@
 // unassociated detection clusters and scoring itself with the OSPA metric.
 //
 //   ./multi_target [--density=20] [--seed=5]
+//                  [--trace=out.json] [--metrics=out.json]
 #include <cstdlib>
 #include <iostream>
 #include <vector>
@@ -11,9 +12,9 @@
 #include "core/multi_target.hpp"
 #include "geom/angles.hpp"
 #include "filters/ospa.hpp"
+#include "sim/cli_options.hpp"
 #include "sim/experiment.hpp"
 #include "support/ascii_plot.hpp"
-#include "support/cli.hpp"
 #include "support/statistics.hpp"
 #include "support/table.hpp"
 
@@ -21,9 +22,22 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
+    sim::CliSpec spec;
+    spec.description =
+        "Two crossing targets under the multi-target CDPF tracker.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"},
+                  {"--seed=5", "root seed"}};
+    spec.sweep = false;
+    spec.monte_carlo = false;
+    spec.sharding = false;
+    spec.reports = false;
+    const sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(5));
     args.check_unknown();
+    if (options.help) {
+      return EXIT_SUCCESS;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;

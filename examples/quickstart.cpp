@@ -8,25 +8,31 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "sim/cli_options.hpp"
 #include "sim/experiment.hpp"
-#include "sim/observability.hpp"
-#include "support/cli.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
-    const double density = args.get_double("density").value_or(20.0);
-    const auto trials = static_cast<std::size_t>(args.get_int("trials").value_or(3));
-    const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(42));
+    sim::CliSpec spec;
+    spec.description = "Quickstart: every algorithm on the paper's scenario.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"}};
+    spec.sweep = false;
+    spec.sharding = false;
+    spec.reports = false;
+    spec.default_trials = 3;
+    spec.default_seed = 42;
     // --trace records a Chrome-trace timeline of the run (open it in
     // Perfetto); --metrics writes the unified counter snapshot. See
     // docs/observability.md.
-    const sim::ObservabilityScope observability(
-        args.get_string("trace").value_or(""),
-        args.get_string("metrics").value_or(""));
+    const sim::CliOptions options = sim::parse_cli_options(args, spec);
+    const double density = args.get_double("density").value_or(20.0);
     args.check_unknown();
+    if (options.help) {
+      return EXIT_SUCCESS;
+    }
 
     // 1. Describe the scenario (defaults reproduce the paper's setup:
     //    200 m x 200 m field, r_s = 10 m, r_c = 30 m, target from (0, 100)
@@ -39,14 +45,14 @@ int main(int argc, char** argv) {
     const sim::AlgorithmParams params;
 
     std::cout << "Scenario: " << scenario.node_count() << " nodes (" << density
-              << " nodes/100m^2), " << trials << " trial(s)\n\n";
+              << " nodes/100m^2), " << options.trials << " trial(s)\n\n";
 
     // 3. Run every algorithm over the same Monte-Carlo seeds and tabulate.
     support::Table table({"algorithm", "RMSE (m)", "mean err (m)", "comm (bytes)",
                           "messages", "estimates/run"});
     for (const sim::AlgorithmKind kind : sim::kAllAlgorithms) {
-      const sim::MonteCarloResult r =
-          sim::run_monte_carlo(scenario, kind, params, trials, seed);
+      const sim::MonteCarloResult r = sim::run_monte_carlo(
+          scenario, kind, params, options.trials, options.seed, options.workers);
       auto row = table.row();
       row.cell(std::string(sim::algorithm_name(kind)))
           .cell(r.rmse.mean(), 2)

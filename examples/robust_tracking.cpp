@@ -5,13 +5,14 @@
 // as the network thins out underneath the filter.
 //
 //   ./robust_tracking [--density=20] [--hazard=0.002] [--seed=3]
+//                     [--trace=out.json] [--metrics=out.json]
 #include <cstdlib>
 #include <iostream>
 
 #include "core/cdpf.hpp"
+#include "sim/cli_options.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment.hpp"
-#include "support/cli.hpp"
 #include "support/table.hpp"
 #include "wsn/failure.hpp"
 
@@ -19,11 +20,24 @@ int main(int argc, char** argv) {
   using namespace cdpf;
   try {
     support::CliArgs args(argc, argv);
+    sim::CliSpec spec;
+    spec.description = "CDPF under progressive node failure at a hazard rate.";
+    spec.extra = {{"--density=20", "node density per 100 m^2"},
+                  {"--hazard=0.002", "per-node failure rate (1/s); 0.002 kills "
+                                     "~10% of the field over 50 s"},
+                  {"--seed=3", "root seed"}};
+    spec.sweep = false;
+    spec.monte_carlo = false;
+    spec.sharding = false;
+    spec.reports = false;
+    const sim::CliOptions options = sim::parse_cli_options(args, spec);
     const double density = args.get_double("density").value_or(20.0);
-    // Per-node failure rate (1/s). 0.002 kills ~10% of the field over 50 s.
     const double hazard = args.get_double("hazard").value_or(0.002);
     const auto seed = static_cast<std::uint64_t>(args.get_int("seed").value_or(3));
     args.check_unknown();
+    if (options.help) {
+      return EXIT_SUCCESS;
+    }
 
     sim::Scenario scenario;
     scenario.density_per_100m2 = density;

@@ -1,8 +1,9 @@
 #include "sim/experiment.hpp"
 
+#include <string>
 #include <vector>
 
-#include "sim/thread_pool.hpp"
+#include "sim/runspec.hpp"
 #include "support/check.hpp"
 #include "support/trace.hpp"
 #include "wsn/deployment.hpp"
@@ -23,6 +24,18 @@ std::string_view algorithm_name(AlgorithmKind kind) {
     case AlgorithmKind::kGmmDpf: return "GMM-DPF";
   }
   return "?";
+}
+
+std::optional<AlgorithmKind> algorithm_from_name(std::string_view name) {
+  constexpr AlgorithmKind kAllKinds[] = {
+      AlgorithmKind::kCpf,  AlgorithmKind::kDpf,    AlgorithmKind::kSdpf,
+      AlgorithmKind::kCdpf, AlgorithmKind::kCdpfNe, AlgorithmKind::kGmmDpf};
+  for (const AlgorithmKind kind : kAllKinds) {
+    if (algorithm_name(kind) == name) {
+      return kind;
+    }
+  }
+  return std::nullopt;
 }
 
 std::unique_ptr<core::TrackerAlgorithm> make_tracker(AlgorithmKind kind,
@@ -58,6 +71,25 @@ std::unique_ptr<core::TrackerAlgorithm> make_tracker(AlgorithmKind kind,
   throw Error("unknown algorithm kind");
 }
 
+std::unique_ptr<core::TrackerAlgorithm> make_tracker(std::string_view name,
+                                                     wsn::Network& network,
+                                                     wsn::Radio& radio,
+                                                     const AlgorithmParams& params) {
+  const std::optional<AlgorithmKind> kind = algorithm_from_name(name);
+  if (!kind) {
+    std::string known;
+    for (const AlgorithmKind k :
+         {AlgorithmKind::kCpf, AlgorithmKind::kDpf, AlgorithmKind::kSdpf,
+          AlgorithmKind::kCdpf, AlgorithmKind::kCdpfNe, AlgorithmKind::kGmmDpf}) {
+      known += known.empty() ? "" : ", ";
+      known += algorithm_name(k);
+    }
+    throw Error("unknown algorithm '" + std::string(name) + "' (known: " + known +
+                ")");
+  }
+  return make_tracker(*kind, network, radio, params);
+}
+
 wsn::Network build_network(const Scenario& scenario, rng::Rng& rng) {
   const std::size_t count = scenario.node_count();
   return wsn::Network(wsn::deploy_uniform_random(count, scenario.network.field, rng),
@@ -85,39 +117,56 @@ TrialResult run_trial(const Scenario& scenario, AlgorithmKind kind,
   return result;
 }
 
+SlotRecord to_record(const TrialResult& result) {
+  SlotRecord record;
+  record.values.resize(kTrialRecordSize);
+  record.values[kTrialProduced] = result.outcome.produced_estimates() ? 1.0 : 0.0;
+  record.values[kTrialRmse] = result.outcome.rmse();
+  record.values[kTrialMeanError] = result.outcome.mean_error();
+  record.values[kTrialTotalBytes] =
+      static_cast<double>(result.outcome.comm.total_bytes());
+  record.values[kTrialTotalMessages] =
+      static_cast<double>(result.outcome.comm.total_messages());
+  record.values[kTrialEstimates] = static_cast<double>(result.outcome.scored.size());
+  record.values[kTrialNodeCount] = static_cast<double>(result.node_count);
+  return record;
+}
+
+MonteCarloResult fold_monte_carlo(const std::vector<SlotRecord>& records,
+                                  std::size_t offset, std::size_t count) {
+  CDPF_CHECK_MSG(offset + count <= records.size(),
+                 "fold range exceeds the record set");
+  MonteCarloResult aggregate;
+  aggregate.trials = count;
+  for (std::size_t i = offset; i < offset + count; ++i) {
+    const std::vector<double>& v = records[i].values;
+    CDPF_CHECK_MSG(v.size() >= kTrialRecordSize,
+                   "slot record is too short for a Monte-Carlo trial");
+    if (v[kTrialProduced] == 0.0) {
+      ++aggregate.trials_without_estimates;
+      continue;
+    }
+    aggregate.rmse.add(v[kTrialRmse]);
+    aggregate.mean_error.add(v[kTrialMeanError]);
+    aggregate.total_bytes.add(v[kTrialTotalBytes]);
+    aggregate.total_messages.add(v[kTrialTotalMessages]);
+    aggregate.estimates.add(v[kTrialEstimates]);
+  }
+  return aggregate;
+}
+
 MonteCarloResult run_monte_carlo(const Scenario& scenario, AlgorithmKind kind,
                                  const AlgorithmParams& params, std::size_t trials,
                                  std::uint64_t root_seed, std::size_t workers,
                                  const HookFactory& hook_factory) {
   CDPF_CHECK_MSG(trials > 0, "Monte Carlo needs at least one trial");
   CDPF_TRACE_SPAN("monte-carlo-run");
-  std::vector<TrialResult> results(trials);
-  auto run_one = [&](std::size_t t) {
-    results[t] = run_trial(scenario, kind, params, root_seed, t, hook_factory);
-  };
-  if (workers > 1) {
-    ThreadPool pool(workers);
-    pool.parallel_for(trials, run_one);
-  } else {
-    for (std::size_t t = 0; t < trials; ++t) {
-      run_one(t);
-    }
-  }
-
-  MonteCarloResult aggregate;
-  aggregate.trials = trials;
-  for (const TrialResult& r : results) {
-    if (!r.outcome.produced_estimates()) {
-      ++aggregate.trials_without_estimates;
-      continue;
-    }
-    aggregate.rmse.add(r.outcome.rmse());
-    aggregate.mean_error.add(r.outcome.mean_error());
-    aggregate.total_bytes.add(static_cast<double>(r.outcome.comm.total_bytes()));
-    aggregate.total_messages.add(static_cast<double>(r.outcome.comm.total_messages()));
-    aggregate.estimates.add(static_cast<double>(r.outcome.scored.size()));
-  }
-  return aggregate;
+  const std::vector<SlotRecord> records =
+      run_slots_ordered<SlotRecord>(trials, workers, [&](std::size_t t) {
+        return to_record(run_trial(scenario, kind, params, root_seed, t,
+                                   hook_factory));
+      });
+  return fold_monte_carlo(records, 0, trials);
 }
 
 }  // namespace cdpf::sim

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 
 #include "core/cdpf.hpp"
@@ -18,6 +19,7 @@
 #include "core/sdpf.hpp"
 #include "core/tracker.hpp"
 #include "sim/engine.hpp"
+#include "sim/snapshot.hpp"
 #include "support/statistics.hpp"
 #include "tracking/trajectory.hpp"
 #include "wsn/network.hpp"
@@ -50,6 +52,11 @@ inline constexpr AlgorithmKind kAllAlgorithms[] = {
 
 std::string_view algorithm_name(AlgorithmKind kind);
 
+/// Inverse of algorithm_name(): look an algorithm up by its registry-key
+/// name ("CPF", "DPF", "SDPF", "CDPF", "CDPF-NE", "GMM-DPF"); nullopt when
+/// the name is unknown.
+std::optional<AlgorithmKind> algorithm_from_name(std::string_view name);
+
 /// Per-algorithm tuning knobs, defaulted to the paper's configuration.
 struct AlgorithmParams {
   core::CpfConfig cpf;     // also used by the DPF variant
@@ -61,6 +68,14 @@ struct AlgorithmParams {
 
 /// Instantiate a tracker of the given kind over (network, radio).
 std::unique_ptr<core::TrackerAlgorithm> make_tracker(AlgorithmKind kind,
+                                                     wsn::Network& network,
+                                                     wsn::Radio& radio,
+                                                     const AlgorithmParams& params);
+
+/// Factory by registry-key name — the single replacement for the per-bench
+/// name-switch code. Throws cdpf::Error listing the known names when
+/// `name` is not one of them.
+std::unique_ptr<core::TrackerAlgorithm> make_tracker(std::string_view name,
                                                      wsn::Network& network,
                                                      wsn::Radio& radio,
                                                      const AlgorithmParams& params);
@@ -83,6 +98,22 @@ TrialResult run_trial(const Scenario& scenario, AlgorithmKind kind,
                       const AlgorithmParams& params, std::uint64_t root_seed,
                       std::size_t trial_index, const HookFactory& hook_factory = {});
 
+/// Serialize a finished trial for the sharded execution plane. The fixed
+/// layout (indices kTrialProduced..kTrialNodeCount below) is what
+/// fold_monte_carlo() consumes; experiments may append extra values after
+/// it, which the fold ignores.
+SlotRecord to_record(const TrialResult& result);
+
+/// Indices into a to_record() SlotRecord.
+inline constexpr std::size_t kTrialProduced = 0;       // 1.0 when estimates exist
+inline constexpr std::size_t kTrialRmse = 1;           // m
+inline constexpr std::size_t kTrialMeanError = 2;      // m
+inline constexpr std::size_t kTrialTotalBytes = 3;
+inline constexpr std::size_t kTrialTotalMessages = 4;
+inline constexpr std::size_t kTrialEstimates = 5;      // scored.size()
+inline constexpr std::size_t kTrialNodeCount = 6;
+inline constexpr std::size_t kTrialRecordSize = 7;
+
 struct MonteCarloResult {
   support::RunningStats rmse;             // per-trial RMSE (m)
   support::RunningStats mean_error;       // per-trial mean position error (m)
@@ -92,6 +123,13 @@ struct MonteCarloResult {
   std::size_t trials = 0;
   std::size_t trials_without_estimates = 0;
 };
+
+/// Aggregate `count` consecutive trial records starting at `offset` in
+/// ascending slot order — the same fold, over the same doubles, in the same
+/// order as run_monte_carlo(), so folding records merged from shards is
+/// bitwise identical to the single-process aggregate.
+MonteCarloResult fold_monte_carlo(const std::vector<SlotRecord>& records,
+                                  std::size_t offset, std::size_t count);
 
 /// Repeat run_trial() `trials` times (trial seeds derived from root_seed)
 /// and aggregate. `workers` > 1 distributes trials over a thread pool;

@@ -1,0 +1,94 @@
+#include "sim/runspec.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "support/check.hpp"
+#include "support/trace.hpp"
+
+namespace cdpf::sim {
+
+ExperimentRunner::ExperimentRunner(RunSpec spec) : spec_(std::move(spec)) {
+  CDPF_CHECK_MSG(!spec_.experiment.empty(), "RunSpec needs an experiment name");
+  CDPF_CHECK_MSG(spec_.shard.count >= 1 && spec_.shard.index < spec_.shard.count,
+                 "RunSpec shard selector is invalid: " + spec_.shard.to_string());
+  CDPF_CHECK_MSG(!(spec_.shard.is_sharded() && !spec_.merge_paths.empty()),
+                 "--shard and --merge are mutually exclusive: a process either "
+                 "computes a shard or fuses finished ones");
+  if (spec_.shard.is_sharded() || !spec_.shard_out.empty()) {
+    snapshot_path_ = spec_.shard_out.empty()
+                         ? spec_.experiment + ".shard-" +
+                               std::to_string(spec_.shard.index) + "of" +
+                               std::to_string(spec_.shard.count) + ".json"
+                         : spec_.shard_out;
+  }
+}
+
+std::string ExperimentRunner::config_digest(std::size_t slot_count) const {
+  std::ostringstream os;
+  os << "experiment=" << spec_.experiment << ";slots=" << slot_count
+     << ";trials=" << spec_.trials << ";seed=" << spec_.seed;
+  for (const auto& [key, value] : spec_.config) {
+    os << ';' << key << '=' << value;
+  }
+  return os.str();
+}
+
+std::optional<std::vector<SlotRecord>> ExperimentRunner::run(
+    std::size_t slot_count, const SlotJob& job) {
+  CDPF_CHECK_MSG(slot_count > 0, "experiment has no slots to run");
+  CDPF_TRACE_SPAN("experiment-run");
+  const std::string digest = config_digest(slot_count);
+
+  if (!spec_.merge_paths.empty()) {
+    std::vector<ShardSnapshot> snapshots;
+    snapshots.reserve(spec_.merge_paths.size());
+    for (const std::string& path : spec_.merge_paths) {
+      ShardSnapshot snapshot = ShardSnapshot::load(path);
+      if (snapshot.experiment != spec_.experiment) {
+        throw Error(path + ": snapshot is for experiment '" + snapshot.experiment +
+                    "', this binary runs '" + spec_.experiment + "'");
+      }
+      if (snapshot.config != digest) {
+        throw Error(path + ": snapshot config does not match this run:\n  snapshot: " +
+                    snapshot.config + "\n  this run: " + digest);
+      }
+      snapshots.push_back(std::move(snapshot));
+    }
+    return merge_snapshots(snapshots);
+  }
+
+  // Compute the slots this process owns. In plain mode that is all of
+  // them; in shard mode the job still receives the *global* slot index,
+  // so seeds match the unsharded run slot for slot.
+  std::vector<std::size_t> owned;
+  owned.reserve(slot_count / spec_.shard.count + 1);
+  for (std::size_t slot = 0; slot < slot_count; ++slot) {
+    if (spec_.shard.owns_slot(slot)) {
+      owned.push_back(slot);
+    }
+  }
+  const std::vector<SlotRecord> records = run_slots_ordered<SlotRecord>(
+      owned.size(), spec_.workers,
+      [&](std::size_t i) { return job(owned[i]); });
+
+  if (!snapshot_path_.empty()) {
+    ShardSnapshot snapshot;
+    snapshot.experiment = spec_.experiment;
+    snapshot.config = digest;
+    snapshot.shard = spec_.shard;
+    snapshot.slot_count = slot_count;
+    snapshot.slots.reserve(owned.size());
+    for (std::size_t i = 0; i < owned.size(); ++i) {
+      snapshot.slots.emplace_back(owned[i], records[i]);
+    }
+    snapshot.write(snapshot_path_);
+  }
+
+  if (spec_.shard.is_sharded()) {
+    return std::nullopt;
+  }
+  return records;
+}
+
+}  // namespace cdpf::sim

@@ -1,0 +1,72 @@
+// The cdpf-shard/1 snapshot: the interchange format of the sharded
+// Monte-Carlo execution plane (see docs/architecture.md, "Sharded
+// execution").
+//
+// A shard run computes the trial slots it owns (slot s belongs to shard
+// i of N when s % N == i) and serializes one SlotRecord per slot. Records
+// are vectors of doubles stored as IEEE-754 bit patterns (hex), so a
+// serialize -> parse round trip is bitwise exact and a merged run is
+// byte-identical to the unsharded run at the same seed. merge_snapshots()
+// fuses one snapshot per shard back into the full ordered slot vector and
+// fails loudly on missing, duplicate, overlapping or mismatched-config
+// shards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cdpf::sim {
+
+/// Which part of the slot space this process runs: shard `index` of
+/// `count`. The default (0 of 1) is the whole, unsharded run.
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool is_sharded() const { return count > 1; }
+  bool owns_slot(std::size_t slot) const { return slot % count == index; }
+  std::string to_string() const;  // "0/3"
+};
+
+/// Parse "i/N" (as given to --shard); throws cdpf::Error on malformed
+/// input, N == 0 or i >= N.
+ShardSpec parse_shard(const std::string& text);
+
+/// One trial slot's results: a flat vector of doubles whose layout is
+/// fixed per experiment (e.g. sim::to_record's Monte-Carlo trial layout,
+/// optionally followed by experiment-specific extras).
+struct SlotRecord {
+  std::vector<double> values;
+
+  friend bool operator==(const SlotRecord&, const SlotRecord&) = default;
+};
+
+/// A cdpf-shard/1 document: the slots one shard computed, plus enough
+/// configuration fingerprint to refuse fusing incompatible runs.
+struct ShardSnapshot {
+  std::string experiment;     // registry key, e.g. "fig6"
+  std::string config;         // canonical config digest (RunSpec::digest)
+  ShardSpec shard;
+  std::size_t slot_count = 0;  // total slots of the unsharded run
+  /// (slot index, record), ascending by slot; exactly the owned slots.
+  std::vector<std::pair<std::size_t, SlotRecord>> slots;
+
+  std::string to_json() const;
+  /// Parse a cdpf-shard/1 document; throws cdpf::Error with context on
+  /// malformed JSON, wrong schema or missing fields.
+  static ShardSnapshot parse(const std::string& json);
+  static ShardSnapshot load(const std::string& path);  // throws on I/O error
+  void write(const std::string& path) const;           // throws on I/O error
+};
+
+/// Fuse one snapshot per shard into the full slot vector, ordered by slot
+/// index. Throws cdpf::Error when the inputs disagree on experiment,
+/// config, slot count or shard count; when a shard index is duplicated or
+/// missing; or when any snapshot's slots are not exactly the ones its
+/// shard owns.
+std::vector<SlotRecord> merge_snapshots(const std::vector<ShardSnapshot>& shards);
+
+}  // namespace cdpf::sim

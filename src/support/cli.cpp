@@ -89,6 +89,23 @@ std::optional<std::vector<double>> CliArgs::get_double_list(const std::string& n
   return values;
 }
 
+std::optional<std::vector<std::string>> CliArgs::get_string_list(
+    const std::string& name) {
+  const auto text = get_string(name);
+  if (!text) {
+    return std::nullopt;
+  }
+  std::vector<std::string> values;
+  std::istringstream is(*text);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    CDPF_CHECK_MSG(!token.empty(), "--" + name + " has an empty list element");
+    values.push_back(token);
+  }
+  CDPF_CHECK_MSG(!values.empty(), "--" + name + " list is empty");
+  return values;
+}
+
 void CliArgs::check_unknown() const {
   for (const auto& [name, value] : values_) {
     (void)value;

@@ -25,6 +25,8 @@ class CliArgs {
   std::optional<bool> get_bool(const std::string& name);
   /// Comma-separated list of doubles ("5,10,15").
   std::optional<std::vector<double>> get_double_list(const std::string& name);
+  /// Comma-separated list of strings ("a.json,b.json").
+  std::optional<std::vector<std::string>> get_string_list(const std::string& name);
 
   /// Call after all get_*() declarations: throws cdpf::Error if the command
   /// line contained a flag that was never queried.

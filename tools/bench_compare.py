@@ -28,12 +28,22 @@ of a performance change.
 every shared benchmark slower than the baseline by more than PCT percent.
 The exit status stays 0 — perf telemetry is informational, never gating
 (shared-runner noise routinely exceeds any usable threshold).
+
+``--stages`` switches both sides from benchmark reports to traces: each
+side is either a ``tools/trace_summary.py`` markdown summary or a raw
+``--trace=`` capture (``.json`` / ``.jsonl``), and the comparison is the
+per-stage table — mean span duration per stage name — so a regression
+names the *phase* that slowed down (``cdpf-iteration``, ``resample``, ...)
+instead of just the benchmark binary. ``--warn-over`` composes with it;
+``--merge`` does not (stage tables are not cdpf-bench documents).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import pathlib
+import re
 import sys
 
 _TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
@@ -90,6 +100,66 @@ def load_side(spec):
     return docs[0], times
 
 
+# A per-stage row as trace_summary.py emits it:
+# | `name` | count | total (ms) | mean (ms) | min (ms) | max (ms) |
+_STAGE_ROW = re.compile(
+    r"^\|\s*`(?P<name>[^`]+)`\s*"
+    r"\|\s*(?P<count>\d+)\s*"
+    r"\|\s*(?P<total>[0-9.]+)\s*"
+    r"\|\s*(?P<mean>[0-9.]+)\s*"
+    r"\|\s*(?P<min>[0-9.]+)\s*"
+    r"\|\s*(?P<max>[0-9.]+)\s*\|\s*$"
+)
+
+
+def stage_seconds(path):
+    """Normalize one trace artifact to {stage name: mean seconds per span}.
+
+    Markdown summaries (tools/trace_summary.py output) are parsed row by
+    row; raw ``.json`` / ``.jsonl`` traces are aggregated here with the
+    same span arithmetic trace_summary uses.
+    """
+    p = pathlib.Path(path)
+    if p.suffix in (".json", ".jsonl"):
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+        try:
+            import trace_summary
+        finally:
+            sys.path.pop(0)
+        spans = {}
+        for e in trace_summary.load_events(p):
+            if e.get("ph") == "X":
+                spans.setdefault(e["name"], []).append(e["dur_ns"])
+        if not spans:
+            raise SystemExit(
+                f"{path}: no spans recorded (built with -DCDPF_TRACING=ON?)"
+            )
+        return {n: sum(d) / len(d) / 1e9 for n, d in spans.items()}
+    out = {}
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            m = _STAGE_ROW.match(line.strip())
+            if m and m.group("name") != "stage":
+                out[m.group("name")] = float(m.group("mean")) / 1e3
+    if not out:
+        raise SystemExit(
+            f"{path}: no per-stage rows found (expected trace_summary.py "
+            "markdown or a .json/.jsonl trace)"
+        )
+    return out
+
+
+def load_stage_side(spec):
+    """Stage-mode counterpart of load_side: min mean-span-seconds per stage
+    across a comma-separated list of summaries/traces."""
+    times = {}
+    for path in (p for p in spec.split(",") if p):
+        for name, seconds in stage_seconds(path).items():
+            if name not in times or seconds < times[name]:
+                times[name] = seconds
+    return times
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -110,17 +180,31 @@ def main(argv):
         help="emit a ::warning:: annotation per benchmark slower than the "
         "baseline by more than PCT percent (exit status stays 0)",
     )
+    parser.add_argument(
+        "--stages",
+        action="store_true",
+        help="compare per-stage trace tables (trace_summary.py markdown or "
+        "raw traces) instead of benchmark reports; regressions name the phase",
+    )
     args = parser.parse_args(argv)
 
-    baseline_doc, baseline = load_side(args.baseline)
-    current_doc, current = load_side(args.current)
+    if args.stages:
+        if args.merge:
+            raise SystemExit("--merge does not apply to --stages comparisons")
+        baseline_doc, baseline = None, load_stage_side(args.baseline)
+        current_doc, current = None, load_stage_side(args.current)
+        kind, column = "stage", "stage"
+    else:
+        baseline_doc, baseline = load_side(args.baseline)
+        current_doc, current = load_side(args.current)
+        kind, column = "benchmark", "benchmark"
 
     shared = [name for name in current if name in baseline]
     if not shared:
-        raise SystemExit("no benchmark names in common between the two reports")
+        raise SystemExit(f"no {kind} names in common between the two reports")
 
-    width = max(len(name) for name in shared)
-    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'speedup':>8}")
+    width = max(len(column), max(len(name) for name in shared))
+    print(f"{column:<{width}}  {'baseline':>12}  {'current':>12}  {'speedup':>8}")
     for name in shared:
         speedup = baseline[name] / current[name] if current[name] > 0 else float("inf")
         print(
@@ -141,7 +225,7 @@ def main(argv):
             slowdown_pct = (current[name] / baseline[name] - 1.0) * 100.0
             if slowdown_pct > args.warn_over:
                 print(
-                    f"::warning title=perf regression::{name} is "
+                    f"::warning title=perf regression::{kind} {name} is "
                     f"{slowdown_pct:.1f}% slower than the committed baseline "
                     f"({format_seconds(baseline[name])} -> "
                     f"{format_seconds(current[name])}); noise or regression? "

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Fuse cdpf-shard/1 snapshots into one snapshot covering every slot.
+
+Each figure/table bench run with ``--shard=i/N`` writes a snapshot holding
+only the trial slots it owns (slot % N == i), with every double stored as
+its IEEE-754 bit pattern so the merge is bitwise-exact. This tool fuses a
+complete set of N such snapshots into a single snapshot covering all slots
+— written as shard 0/1, which any bench then accepts via ``--merge`` and
+renders into output byte-identical to the unsharded run:
+
+  fig6_estimation_error --shard=0/3 --shard-out=s0.json ... &
+  fig6_estimation_error --shard=1/3 --shard-out=s1.json ... &
+  fig6_estimation_error --shard=2/3 --shard-out=s2.json ... &
+  wait
+  tools/shard_merge.py --out fused.json s0.json s1.json s2.json
+  fig6_estimation_error --merge=fused.json ...
+
+(``--merge=s0.json,s1.json,s2.json`` performs the same fusion in-process;
+this tool exists for pipelines that want the fused artifact on disk.)
+
+The validations mirror src/sim/snapshot.cpp exactly — a missing,
+duplicated, or mismatched-config shard fails loudly, never silently
+producing a partial result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SCHEMA = "cdpf-shard/1"
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
+
+
+def fail(message: str) -> "SystemExit":
+    raise SystemExit(f"shard_merge: {message}")
+
+
+def load_snapshot(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as e:
+        fail(f"{path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path}: not valid JSON ({e})")
+    if not isinstance(doc, dict):
+        fail(f"{path}: snapshot must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        fail(
+            f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r} "
+            "(is this a bench --shard-out snapshot?)"
+        )
+    for field in ("experiment", "config", "shard_index", "shard_count",
+                  "slot_count", "slots"):
+        if field not in doc:
+            fail(f"{path}: missing field {field!r}")
+    if not (0 <= doc["shard_index"] < doc["shard_count"]):
+        fail(
+            f"{path}: shard index {doc['shard_index']} out of range for "
+            f"{doc['shard_count']} shard(s)"
+        )
+    for entry in doc["slots"]:
+        slot = entry.get("slot")
+        if not isinstance(slot, int) or not 0 <= slot < doc["slot_count"]:
+            fail(f"{path}: slot index {slot!r} out of range")
+        if slot % doc["shard_count"] != doc["shard_index"]:
+            fail(
+                f"{path}: slot {slot} is not owned by shard "
+                f"{doc['shard_index']}/{doc['shard_count']}"
+            )
+        for value in entry.get("values", []):
+            if (not isinstance(value, str) or len(value) != 18
+                    or not value.startswith("0x")
+                    or not set(value[2:]) <= _HEX_DIGITS):
+                fail(
+                    f"{path}: slot {slot} holds {value!r}, expected an "
+                    "18-char 0x-prefixed IEEE-754 bit pattern"
+                )
+    return doc
+
+
+def merge(docs: list[tuple[str, dict]]) -> dict:
+    first_path, first = docs[0]
+    for path, doc in docs[1:]:
+        for field in ("experiment", "config", "slot_count", "shard_count"):
+            if doc[field] != first[field]:
+                fail(
+                    f"{path}: {field} mismatch\n"
+                    f"  {first_path}: {first[field]!r}\n"
+                    f"  {path}: {doc[field]!r}\n"
+                    "shards must come from identical invocations "
+                    "(same experiment, flags, trials, seed)"
+                )
+    if len(docs) != first["shard_count"]:
+        fail(
+            f"got {len(docs)} snapshot(s) for a {first['shard_count']}-way "
+            "sharded run; pass every shard exactly once"
+        )
+    seen_shards: dict[int, str] = {}
+    for path, doc in docs:
+        if doc["shard_index"] in seen_shards:
+            fail(
+                f"shard {doc['shard_index']}/{doc['shard_count']} appears "
+                f"twice: {seen_shards[doc['shard_index']]} and {path}"
+            )
+        seen_shards[doc["shard_index"]] = path
+    # seen_shards now holds len(docs) == shard_count distinct in-range
+    # indices, so every shard is present exactly once.
+
+    slots: dict[int, list[str]] = {}
+    for path, doc in docs:
+        for entry in doc["slots"]:
+            if entry["slot"] in slots:
+                fail(f"{path}: slot {entry['slot']} appears in two snapshots")
+            slots[entry["slot"]] = entry["values"]
+    missing = [s for s in range(first["slot_count"]) if s not in slots]
+    if missing:
+        fail(
+            f"slot {missing[0]} was never computed "
+            f"({len(missing)} of {first['slot_count']} slots missing); "
+            "did a shard run exit early?"
+        )
+
+    return {
+        "schema": SCHEMA,
+        "experiment": first["experiment"],
+        "config": first["config"],
+        "shard_index": 0,
+        "shard_count": 1,
+        "slot_count": first["slot_count"],
+        "slots": [
+            {"slot": slot, "values": slots[slot]}
+            for slot in sorted(slots)
+        ],
+    }
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshots", nargs="+", metavar="SHARD.json",
+                        help="every shard snapshot of one run, any order")
+    parser.add_argument("--out", required=True, metavar="FUSED.json",
+                        help="path for the fused snapshot (shard 0/1)")
+    args = parser.parse_args(argv)
+
+    docs = [(path, load_snapshot(path)) for path in args.snapshots]
+    fused = merge(docs)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(fused, fh, indent=1)
+        fh.write("\n")
+    print(
+        f"fused {len(docs)} shard(s), {fused['slot_count']} slots of "
+        f"{fused['experiment']!r} -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

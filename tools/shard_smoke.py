@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""End-to-end check of the sharded execution plane on a real bench binary.
+
+Runs one figure/table bench four ways —
+
+  1. unsharded (the reference),
+  2. as N shard processes, each writing a cdpf-shard/1 snapshot,
+  3. the bench's own in-process ``--merge=shard0,shard1,...``,
+  4. ``tools/shard_merge.py`` fusing the snapshots into one file first,
+
+— and asserts that both merge paths reproduce the unsharded run *exactly*:
+the CSV artifact must match byte for byte, and stdout must match after
+dropping only the wall-clock line (the single line whose content is
+legitimately timing-dependent). Any other difference is a determinism bug
+in the shard/merge plane and fails the check.
+
+Used by the ``shard-smoke`` CI job and the ``shard_smoke`` ctest:
+
+  tools/shard_smoke.py --bench build/bench/fig6_estimation_error
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+# Lines whose content legitimately differs between a compute run and a
+# merge run: only the wall-clock sweep footer qualifies. CSV/JSON are
+# compared byte-for-byte, so their confirmation lines stay significant —
+# but the paths differ per mode, so normalize them away too.
+_VOLATILE = re.compile(r"^\((swept in|CSV written to|JSON report written to) ")
+
+
+def run(cmd: list[str], cwd: pathlib.Path) -> str:
+    proc = subprocess.run(
+        cmd, cwd=cwd, capture_output=True, text=True, check=False
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"shard_smoke: {' '.join(cmd)} exited {proc.returncode}\n"
+            f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+        )
+    return proc.stdout
+
+
+def significant(stdout: str) -> str:
+    return "\n".join(
+        line for line in stdout.splitlines() if not _VOLATILE.match(line)
+    )
+
+
+def check_equal(what: str, reference, candidate) -> None:
+    if reference != candidate:
+        raise SystemExit(
+            f"shard_smoke: {what} differs from the unsharded reference\n"
+            f"--- reference ---\n{reference}\n--- candidate ---\n{candidate}"
+        )
+    print(f"  ok: {what} is byte-identical to the unsharded run")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True,
+                        help="path to a sharding-aware bench binary")
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument(
+        "--flags",
+        default="--densities=5 --trials=3 --seed=7",
+        help="bench flags defining the (small) experiment to replay",
+    )
+    args = parser.parse_args(argv)
+
+    bench = pathlib.Path(args.bench).resolve()
+    if not bench.exists():
+        raise SystemExit(f"shard_smoke: no such bench binary: {bench}")
+    merge_tool = pathlib.Path(__file__).resolve().parent / "shard_merge.py"
+    flags = args.flags.split()
+
+    with tempfile.TemporaryDirectory(prefix="cdpf-shard-smoke-") as tmp:
+        tmpdir = pathlib.Path(tmp)
+
+        print(f"reference: unsharded run of {bench.name}")
+        # Different worker counts on purpose: sharding must be bitwise
+        # reproducible regardless of intra-process parallelism.
+        ref_out = run(
+            [str(bench), *flags, "--workers=2", "--csv=ref.csv"], tmpdir
+        )
+        ref_csv = (tmpdir / "ref.csv").read_bytes()
+
+        print(f"sharded: {args.shards} processes")
+        snapshots = []
+        for i in range(args.shards):
+            snapshot = tmpdir / f"shard{i}.json"
+            run(
+                [str(bench), *flags, "--workers=1",
+                 f"--shard={i}/{args.shards}", f"--shard-out={snapshot}"],
+                tmpdir,
+            )
+            snapshots.append(str(snapshot))
+
+        merged_out = run(
+            [str(bench), *flags, f"--merge={','.join(snapshots)}",
+             "--csv=merged.csv"],
+            tmpdir,
+        )
+        check_equal("--merge CSV", ref_csv, (tmpdir / "merged.csv").read_bytes())
+        check_equal("--merge stdout", significant(ref_out),
+                    significant(merged_out))
+
+        run(
+            [sys.executable, str(merge_tool), "--out", "fused.json",
+             *snapshots],
+            tmpdir,
+        )
+        fused_out = run(
+            [str(bench), *flags, "--merge=fused.json", "--csv=fused.csv"],
+            tmpdir,
+        )
+        check_equal("shard_merge.py CSV", ref_csv,
+                    (tmpdir / "fused.csv").read_bytes())
+        check_equal("shard_merge.py stdout", significant(ref_out),
+                    significant(fused_out))
+
+    print("shard smoke: all merge paths reproduce the unsharded run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
